@@ -1,0 +1,142 @@
+// Supply-chain monitoring — the paper's §6 pharma/food traceability use
+// case: goods move through custody of three organizations (producer,
+// carrier, pharmacy); temperature and humidity sensors from DIFFERENT
+// organizations concurrently append condition records to each shipment's
+// document under a cross-org endorsement policy. FabricCRDT merges the
+// concurrent records, so resource-constrained sensors never resubmit, and a
+// compliance check runs over the complete record.
+//
+//	go run ./examples/supplychain
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"strconv"
+	"sync"
+	"time"
+
+	"fabriccrdt"
+)
+
+const shipments = 3
+
+func main() {
+	cfg := fabriccrdt.PaperTopology(25, true)
+	cfg.Orderer.BatchTimeout = 250 * time.Millisecond
+	net, err := fabriccrdt.NewNetwork(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Recording requires endorsement by at least two of the three parties.
+	policy := "OutOf(2,'Org1.member','Org2.member','Org3.member')"
+	if err := net.InstallChaincode("custody", custodyChaincode(), policy); err != nil {
+		log.Fatal(err)
+	}
+	net.Start()
+	defer net.Stop()
+
+	// One sensor client per (org, modality).
+	type sensor struct {
+		cli      *fabriccrdt.Client
+		org      string
+		modality string
+	}
+	var sensors []sensor
+	for i, org := range []string{"Org1", "Org2", "Org3"} {
+		for _, modality := range []string{"temperature", "humidity"} {
+			cli, err := net.NewClient(org, fmt.Sprintf("%s-%s", org, modality), []string{"Org1", "Org2", "Org3"}[i%3:i%3+1])
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Each client endorses via two orgs to satisfy OutOf(2, ...).
+			cli2, err := net.NewClient(org, fmt.Sprintf("%s-%s-2", org, modality), []string{"Org1", "Org2"})
+			if err != nil {
+				log.Fatal(err)
+			}
+			_ = cli
+			sensors = append(sensors, sensor{cli: cli2, org: org, modality: modality})
+		}
+	}
+
+	var wg sync.WaitGroup
+	for sh := 0; sh < shipments; sh++ {
+		for si, s := range sensors {
+			wg.Add(1)
+			go func(sh, si int, s sensor) {
+				defer wg.Done()
+				value := strconv.Itoa(2 + (sh+si)%8)
+				if s.modality == "humidity" {
+					value = strconv.Itoa(35 + (sh*si)%20)
+				}
+				_, err := s.cli.SubmitAndWait(30*time.Second, "custody",
+					[]byte("record"),
+					[]byte(fmt.Sprintf("shipment-%d", sh)),
+					[]byte(s.org), []byte(s.modality), []byte(value))
+				if err != nil {
+					log.Fatalf("shipment %d %s/%s: %v", sh, s.org, s.modality, err)
+				}
+			}(sh, si, s)
+		}
+	}
+	wg.Wait()
+	net.Stop()
+	if err := net.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Compliance audit over the merged custody records.
+	p := net.Peers()[0]
+	for sh := 0; sh < shipments; sh++ {
+		key := fmt.Sprintf("shipment-%d", sh)
+		vv, ok := p.DB().Get(key)
+		if !ok {
+			log.Fatalf("%s missing", key)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(vv.Value, &doc); err != nil {
+			log.Fatal(err)
+		}
+		records := doc["conditions"].([]any)
+		compliant := true
+		for _, r := range records {
+			rec := r.(map[string]any)
+			if rec["modality"] == "temperature" {
+				if t, _ := strconv.Atoi(rec["value"].(string)); t > 8 {
+					compliant = false
+				}
+			}
+		}
+		verdict := "COMPLIANT (2-8°C maintained)"
+		if !compliant {
+			verdict = "VIOLATION (temperature excursion recorded, immutably)"
+		}
+		fmt.Printf("%s: %d condition records from %d sensors — %s\n",
+			key, len(records), len(sensors), verdict)
+	}
+}
+
+// custodyChaincode appends one condition record to the shipment document.
+func custodyChaincode() fabriccrdt.Chaincode {
+	return fabriccrdt.ChaincodeFunc(func(stub fabriccrdt.ChaincodeStub) error {
+		_, params := stub.Function()
+		if len(params) != 4 {
+			return fmt.Errorf("want [shipment org modality value], got %d", len(params))
+		}
+		shipment, org, modality, value := params[0], params[1], params[2], params[3]
+		if _, err := stub.GetState(shipment); err != nil {
+			return err
+		}
+		delta, err := json.Marshal(map[string]any{
+			"shipmentID": shipment,
+			"conditions": []any{map[string]any{
+				"org": org, "modality": modality, "value": value,
+			}},
+		})
+		if err != nil {
+			return err
+		}
+		return stub.PutCRDT(shipment, delta)
+	})
+}

@@ -1,0 +1,132 @@
+// Public-API tests: everything the examples rely on must work through the
+// facade, without touching internal packages (except test fixtures).
+package fabriccrdt_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"fabriccrdt"
+)
+
+// newLiveNet builds a small started network with the IoT chaincode
+// installed; used by public-API tests and the live benchmark.
+func newLiveNet(tb testing.TB, enableCRDT bool) (*fabriccrdt.Network, func()) {
+	tb.Helper()
+	cfg := fabriccrdt.PaperTopology(10, enableCRDT)
+	cfg.Orderer.BatchTimeout = 100 * time.Millisecond
+	net, err := fabriccrdt.NewNetwork(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cc := fabriccrdt.ChaincodeFunc(func(stub fabriccrdt.ChaincodeStub) error {
+		_, params := stub.Function()
+		device, reading := params[0], params[1]
+		if _, err := stub.GetState(device); err != nil {
+			return err
+		}
+		delta, err := json.Marshal(map[string]any{
+			"tempReadings": []any{map[string]any{"temperature": reading}},
+		})
+		if err != nil {
+			return err
+		}
+		return stub.PutCRDT(device, delta)
+	})
+	if err := net.InstallChaincode("iot", cc, "OR('Org1.member','Org2.member','Org3.member')"); err != nil {
+		tb.Fatal(err)
+	}
+	net.Start()
+	return net, func() { net.Stop() }
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	net, cleanup := newLiveNet(t, true)
+	defer cleanup()
+	cli, err := net.NewClient("Org1", "app", []string{"Org1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := cli.SubmitAndWait(10*time.Second, "iot", []byte("record"), []byte("dev"), []byte("21"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != fabriccrdt.CodeCRDTMerged {
+		t.Fatalf("code = %v", code)
+	}
+	doc, err := fabriccrdt.LoadMergedDoc(net.Peers()[0], "dev")
+	if err != nil || doc == nil {
+		t.Fatalf("LoadMergedDoc = %v, %v", doc, err)
+	}
+	if doc.AppliedCount() == 0 {
+		t.Fatal("merged doc has no operations")
+	}
+}
+
+func TestPublicJSONDocAPI(t *testing.T) {
+	doc := fabriccrdt.NewJSONDoc("app", fabriccrdt.WithOpLog())
+	if _, err := doc.Assign("hello", "greeting"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.Append("x", "items"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.Assign(fabriccrdt.EmptyMap, "nested"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.Assign(1.5, "nested", "value"); err != nil {
+		t.Fatal(err)
+	}
+	ops := doc.TakeOps()
+	replica := fabriccrdt.NewJSONDoc("other")
+	for _, op := range ops {
+		if err := replica.ApplyOp(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(doc.ToJSON(), replica.ToJSON()) {
+		t.Fatalf("replica diverged: %v vs %v", doc.ToJSON(), replica.ToJSON())
+	}
+}
+
+func TestPublicCRDTRegistry(t *testing.T) {
+	reg := fabriccrdt.NewCRDTRegistry()
+	types := reg.Types()
+	if len(types) < 7 {
+		t.Fatalf("registry has %d types: %v", len(types), types)
+	}
+	c, err := reg.New("g-counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, ok := c.(*fabriccrdt.GCounter)
+	if !ok {
+		t.Fatalf("g-counter factory returned %T", c)
+	}
+	gc.Increment("r1", 5)
+	if gc.Sum() != 5 {
+		t.Fatalf("sum = %d", gc.Sum())
+	}
+}
+
+func TestPublicStockFabricMode(t *testing.T) {
+	net, cleanup := newLiveNet(t, false)
+	defer cleanup()
+	cli, err := net.NewClient("Org1", "app", []string{"Org1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential (non-conflicting) submissions all succeed on stock Fabric.
+	for i := 0; i < 3; i++ {
+		code, err := cli.SubmitAndWait(10*time.Second, "iot", []byte("record"), []byte(fmt.Sprintf("d%d", i)), []byte("20"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code != fabriccrdt.CodeValid {
+			t.Fatalf("code = %v, want VALID", code)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package chaincode implements the chaincode programming model and shim:
+// the interface smart contracts implement, and the stub through which they
+// read and write ledger state during proposal simulation (paper §2.1).
+//
+// FabricCRDT's single shim extension is PutCRDT (paper §5.2): "for
+// submitting the key-value pairs to the ledger, the developer should use the
+// CRDT-specific putCRDT command … this command only informs the peer that
+// this value is a CRDT and does not interact with the CRDT in any way."
+package chaincode
+
+import (
+	"errors"
+	"fmt"
+
+	"fabriccrdt/internal/crdt"
+	"fabriccrdt/internal/rwset"
+	"fabriccrdt/internal/statedb"
+)
+
+// Chaincode is a smart contract. Invoke runs during the endorsement phase
+// against a read-only view of the world state; its writes are collected into
+// the proposal's write set. A returned error fails the proposal.
+type Chaincode interface {
+	Invoke(stub Stub) error
+}
+
+// Func adapts a function to the Chaincode interface.
+type Func func(stub Stub) error
+
+// Invoke implements Chaincode.
+func (f Func) Invoke(stub Stub) error { return f(stub) }
+
+// KV is a key/value pair returned by range queries.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Stub is the shim API available to a chaincode during simulation.
+type Stub interface {
+	// TxID returns the transaction ID of the proposal being simulated.
+	TxID() string
+	// Args returns the invocation arguments.
+	Args() [][]byte
+	// Function splits Args into a function name and string parameters.
+	Function() (string, []string)
+	// GetState reads a key, recording it (with its committed version) in
+	// the read set. Reads observe the transaction's own pending writes.
+	GetState(key string) ([]byte, error)
+	// PutState stages a standard write.
+	PutState(key string, value []byte) error
+	// PutCRDT stages a CRDT-flagged write: the value must be a JSON object
+	// (a delta document) that the committer will merge via the JSON CRDT.
+	PutCRDT(key string, value []byte) error
+	// PutTypedCRDT stages a classic-CRDT write (counter, set, register,
+	// graph — the paper's future-work datatypes): the committer joins the
+	// submitted state into the key's accumulated state. State-based CRDT
+	// contract: concurrent contributions must use distinct replica slots
+	// or tags (bind the datatype to the transaction ID for one-shot
+	// deltas).
+	PutTypedCRDT(key string, c crdt.CRDT) error
+	// DelState stages a deletion.
+	DelState(key string) error
+	// GetRange returns committed keys in [start, end) without recording
+	// reads (phantom protection is out of scope, as in Fabric v1.4's
+	// default validation).
+	GetRange(start, end string) ([]KV, error)
+}
+
+// Simulation errors.
+var (
+	ErrEmptyKey = errors.New("chaincode: empty key")
+	ErrNilStub  = errors.New("chaincode: nil stub")
+)
+
+// SimStub is the concrete Stub used during endorsement: it reads the peer's
+// committed world state and accumulates the read/write set.
+type SimStub struct {
+	txID    string
+	args    [][]byte
+	db      *statedb.DB
+	builder *rwset.Builder
+}
+
+var _ Stub = (*SimStub)(nil)
+
+// NewSimStub returns a stub simulating a proposal with the given arguments
+// against db.
+func NewSimStub(txID string, args [][]byte, db *statedb.DB) *SimStub {
+	return &SimStub{
+		txID:    txID,
+		args:    args,
+		db:      db,
+		builder: rwset.NewBuilder(),
+	}
+}
+
+// TxID implements Stub.
+func (s *SimStub) TxID() string { return s.txID }
+
+// Args implements Stub.
+func (s *SimStub) Args() [][]byte { return s.args }
+
+// Function implements Stub.
+func (s *SimStub) Function() (string, []string) {
+	if len(s.args) == 0 {
+		return "", nil
+	}
+	params := make([]string, len(s.args)-1)
+	for i, a := range s.args[1:] {
+		params[i] = string(a)
+	}
+	return string(s.args[0]), params
+}
+
+// GetState implements Stub. A missing key returns (nil, nil) and records a
+// read at the zero version, exactly what MVCC validation later compares.
+func (s *SimStub) GetState(key string) ([]byte, error) {
+	if key == "" {
+		return nil, ErrEmptyKey
+	}
+	// Read-your-own-writes within the simulation.
+	if w, ok := s.builder.PendingWrite(key); ok {
+		if w.IsDelete {
+			return nil, nil
+		}
+		return w.Value, nil
+	}
+	vv, ok := s.db.Get(key)
+	if !ok {
+		s.builder.AddRead(key, rwset.Version{})
+		return nil, nil
+	}
+	s.builder.AddRead(key, vv.Version)
+	return vv.Value, nil
+}
+
+// PutState implements Stub.
+func (s *SimStub) PutState(key string, value []byte) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	s.builder.AddWrite(rwset.Write{Key: key, Value: value})
+	return nil
+}
+
+// PutCRDT implements Stub.
+func (s *SimStub) PutCRDT(key string, value []byte) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	s.builder.AddWrite(rwset.Write{Key: key, Value: value, IsCRDT: true})
+	return nil
+}
+
+// PutTypedCRDT implements Stub.
+func (s *SimStub) PutTypedCRDT(key string, c crdt.CRDT) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	state, err := c.StateJSON()
+	if err != nil {
+		return fmt.Errorf("chaincode: serializing %s state: %w", c.TypeName(), err)
+	}
+	s.builder.AddWrite(rwset.Write{Key: key, Value: state, IsCRDT: true, CRDTType: c.TypeName()})
+	return nil
+}
+
+// DelState implements Stub.
+func (s *SimStub) DelState(key string) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	s.builder.AddWrite(rwset.Write{Key: key, IsDelete: true})
+	return nil
+}
+
+// GetRange implements Stub.
+func (s *SimStub) GetRange(start, end string) ([]KV, error) {
+	kvs := s.db.GetRange(start, end)
+	out := make([]KV, len(kvs))
+	for i, kv := range kvs {
+		out[i] = KV{Key: kv.Key, Value: kv.Value}
+	}
+	return out, nil
+}
+
+// Result returns the accumulated read/write set.
+func (s *SimStub) Result() rwset.ReadWriteSet { return s.builder.Build() }
+
+// Registry maps installed chaincode names to implementations. The zero
+// value is ready to use.
+type Registry struct {
+	chaincodes map[string]Chaincode
+}
+
+// NewRegistry returns an empty chaincode registry.
+func NewRegistry() *Registry {
+	return &Registry{chaincodes: make(map[string]Chaincode)}
+}
+
+// Install registers a chaincode under name, replacing any previous version
+// (Fabric chaincode upgrade).
+func (r *Registry) Install(name string, cc Chaincode) {
+	if r.chaincodes == nil {
+		r.chaincodes = make(map[string]Chaincode)
+	}
+	r.chaincodes[name] = cc
+}
+
+// Get returns the chaincode registered under name.
+func (r *Registry) Get(name string) (Chaincode, error) {
+	cc, ok := r.chaincodes[name]
+	if !ok {
+		return nil, fmt.Errorf("chaincode: %q not installed", name)
+	}
+	return cc, nil
+}

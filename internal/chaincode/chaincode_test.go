@@ -1,0 +1,168 @@
+package chaincode
+
+import (
+	"bytes"
+	"testing"
+
+	"fabriccrdt/internal/rwset"
+	"fabriccrdt/internal/statedb"
+)
+
+func seededDB() *statedb.DB {
+	db := statedb.New()
+	b := statedb.NewUpdateBatch()
+	b.Put("existing", []byte("committed"), rwset.Version{BlockNum: 4, TxNum: 2})
+	db.Apply(b, rwset.Version{BlockNum: 4})
+	return db
+}
+
+func TestGetStateRecordsRead(t *testing.T) {
+	stub := NewSimStub("tx1", nil, seededDB())
+	v, err := stub.GetState("existing")
+	if err != nil || string(v) != "committed" {
+		t.Fatalf("GetState = %q, %v", v, err)
+	}
+	rw := stub.Result()
+	if len(rw.Reads) != 1 || rw.Reads[0].Version != (rwset.Version{BlockNum: 4, TxNum: 2}) {
+		t.Fatalf("reads = %+v", rw.Reads)
+	}
+}
+
+func TestGetStateMissingKeyRecordsZeroVersion(t *testing.T) {
+	stub := NewSimStub("tx1", nil, seededDB())
+	v, err := stub.GetState("missing")
+	if err != nil || v != nil {
+		t.Fatalf("GetState(missing) = %q, %v", v, err)
+	}
+	rw := stub.Result()
+	if len(rw.Reads) != 1 || !rw.Reads[0].Version.IsZero() {
+		t.Fatalf("reads = %+v, want zero version", rw.Reads)
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	stub := NewSimStub("tx1", nil, seededDB())
+	if err := stub.PutState("k", []byte("pending")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := stub.GetState("k")
+	if err != nil || string(v) != "pending" {
+		t.Fatalf("GetState after PutState = %q, %v", v, err)
+	}
+	// The read of a self-written key must NOT appear in the read set.
+	rw := stub.Result()
+	if len(rw.Reads) != 0 {
+		t.Fatalf("reads = %+v, want none", rw.Reads)
+	}
+}
+
+func TestReadAfterOwnDelete(t *testing.T) {
+	stub := NewSimStub("tx1", nil, seededDB())
+	if err := stub.DelState("existing"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := stub.GetState("existing")
+	if err != nil || v != nil {
+		t.Fatalf("GetState after DelState = %q, %v", v, err)
+	}
+}
+
+func TestPutCRDTFlagsWrite(t *testing.T) {
+	stub := NewSimStub("tx1", nil, seededDB())
+	if err := stub.PutCRDT("doc", []byte(`{"a":[1]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := stub.PutState("plain", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	rw := stub.Result()
+	if len(rw.Writes) != 2 {
+		t.Fatalf("writes = %+v", rw.Writes)
+	}
+	if !rw.Writes[0].IsCRDT || rw.Writes[0].Key != "doc" {
+		t.Fatalf("CRDT write = %+v", rw.Writes[0])
+	}
+	if rw.Writes[1].IsCRDT {
+		t.Fatalf("plain write flagged CRDT: %+v", rw.Writes[1])
+	}
+	if !rw.HasCRDTWrites() {
+		t.Fatal("HasCRDTWrites = false")
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	stub := NewSimStub("tx1", nil, seededDB())
+	if _, err := stub.GetState(""); err == nil {
+		t.Error("GetState empty key accepted")
+	}
+	if err := stub.PutState("", nil); err == nil {
+		t.Error("PutState empty key accepted")
+	}
+	if err := stub.PutCRDT("", nil); err == nil {
+		t.Error("PutCRDT empty key accepted")
+	}
+	if err := stub.DelState(""); err == nil {
+		t.Error("DelState empty key accepted")
+	}
+}
+
+func TestFunctionSplitsArgs(t *testing.T) {
+	stub := NewSimStub("tx1", [][]byte{[]byte("record"), []byte("dev-1"), []byte("21")}, seededDB())
+	fn, params := stub.Function()
+	if fn != "record" || len(params) != 2 || params[0] != "dev-1" || params[1] != "21" {
+		t.Fatalf("Function = %q, %v", fn, params)
+	}
+	if stub.TxID() != "tx1" {
+		t.Fatalf("TxID = %q", stub.TxID())
+	}
+	if len(stub.Args()) != 3 {
+		t.Fatalf("Args = %v", stub.Args())
+	}
+}
+
+func TestFunctionEmptyArgs(t *testing.T) {
+	stub := NewSimStub("tx1", nil, seededDB())
+	fn, params := stub.Function()
+	if fn != "" || params != nil {
+		t.Fatalf("Function on empty args = %q, %v", fn, params)
+	}
+}
+
+func TestGetRange(t *testing.T) {
+	db := statedb.New()
+	b := statedb.NewUpdateBatch()
+	for _, k := range []string{"dev1", "dev2", "dev3"} {
+		b.Put(k, []byte(k), rwset.Version{BlockNum: 1})
+	}
+	db.Apply(b, rwset.Version{BlockNum: 1})
+	stub := NewSimStub("tx1", nil, db)
+	kvs, err := stub.GetRange("dev1", "dev3")
+	if err != nil || len(kvs) != 2 {
+		t.Fatalf("GetRange = %v, %v", kvs, err)
+	}
+	if kvs[0].Key != "dev1" || !bytes.Equal(kvs[1].Value, []byte("dev2")) {
+		t.Fatalf("GetRange contents = %v", kvs)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	invoked := false
+	r.Install("cc1", Func(func(stub Stub) error {
+		invoked = true
+		return nil
+	}))
+	cc, err := r.Get("cc1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Invoke(NewSimStub("t", nil, statedb.New())); err != nil {
+		t.Fatal(err)
+	}
+	if !invoked {
+		t.Fatal("chaincode not invoked")
+	}
+	if _, err := r.Get("nope"); err == nil {
+		t.Fatal("missing chaincode must error")
+	}
+}

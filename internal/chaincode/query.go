@@ -1,0 +1,158 @@
+package chaincode
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Composite keys and rich queries complete the Fabric v1.4 shim surface:
+// chaincodes index objects under structured keys and query JSON documents
+// with CouchDB-style selectors.
+
+// compositeKeyNamespace prefixes composite keys so they sort apart from
+// simple keys, as in Fabric.
+const compositeKeyNamespace = "\x00"
+
+// minUnicodeRune is the separator terminating each composite key attribute.
+const compositeKeySep = "\x00"
+
+// ErrBadCompositeKey reports malformed composite key input.
+var ErrBadCompositeKey = errors.New("chaincode: malformed composite key")
+
+// CreateCompositeKey builds a composite key from an object type and
+// attributes, e.g. ("reading", ["dev1", "2024"]). Attributes must not
+// contain the U+0000 separator.
+func CreateCompositeKey(objectType string, attributes []string) (string, error) {
+	if objectType == "" {
+		return "", fmt.Errorf("%w: empty object type", ErrBadCompositeKey)
+	}
+	parts := append([]string{objectType}, attributes...)
+	for _, p := range parts {
+		if strings.Contains(p, compositeKeySep) {
+			return "", fmt.Errorf("%w: component %q contains U+0000", ErrBadCompositeKey, p)
+		}
+	}
+	var b strings.Builder
+	b.WriteString(compositeKeyNamespace)
+	for _, p := range parts {
+		b.WriteString(p)
+		b.WriteString(compositeKeySep)
+	}
+	return b.String(), nil
+}
+
+// SplitCompositeKey decomposes a composite key into its object type and
+// attributes.
+func SplitCompositeKey(key string) (string, []string, error) {
+	if !strings.HasPrefix(key, compositeKeyNamespace) {
+		return "", nil, fmt.Errorf("%w: missing namespace prefix", ErrBadCompositeKey)
+	}
+	trimmed := strings.TrimPrefix(key, compositeKeyNamespace)
+	parts := strings.Split(trimmed, compositeKeySep)
+	if len(parts) < 2 || parts[len(parts)-1] != "" {
+		return "", nil, fmt.Errorf("%w: %q", ErrBadCompositeKey, key)
+	}
+	parts = parts[:len(parts)-1]
+	return parts[0], parts[1:], nil
+}
+
+// GetByPartialCompositeKey returns all committed keys matching the object
+// type and attribute prefix, in sorted order. Like GetRange, results are
+// not recorded in the read set (Fabric v1.4 does not phantom-protect range
+// reads under standard validation).
+func (s *SimStub) GetByPartialCompositeKey(objectType string, attributes []string) ([]KV, error) {
+	prefix, err := CreateCompositeKey(objectType, attributes)
+	if err != nil {
+		return nil, err
+	}
+	// The prefix ends with the separator, so [prefix, prefix+0xFF) covers
+	// exactly the keys extending it.
+	return s.GetRange(prefix, prefix+"\xff")
+}
+
+// Selector is a CouchDB-style equality selector over JSON values: every
+// field listed must equal the given value. It stands in for the subset of
+// Mango queries chaincodes typically use against CouchDB world state.
+type Selector struct {
+	Selector map[string]any `json:"selector"`
+}
+
+// ErrBadSelector reports an unusable query selector.
+var ErrBadSelector = errors.New("chaincode: malformed query selector")
+
+// GetQueryResult runs a rich query over the committed world state: it
+// returns every key whose value is a JSON object matching the selector.
+// Results are not recorded in the read set (as in Fabric, rich queries are
+// not integrity-protected by MVCC validation).
+func (s *SimStub) GetQueryResult(selectorJSON string) ([]KV, error) {
+	var sel Selector
+	if err := json.Unmarshal([]byte(selectorJSON), &sel); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSelector, err)
+	}
+	if len(sel.Selector) == 0 {
+		return nil, fmt.Errorf("%w: empty selector", ErrBadSelector)
+	}
+	all, err := s.GetRange("", "")
+	if err != nil {
+		return nil, err
+	}
+	var out []KV
+	for _, kv := range all {
+		var doc map[string]any
+		if err := json.Unmarshal(kv.Value, &doc); err != nil {
+			continue // non-JSON value: cannot match
+		}
+		if matchSelector(doc, sel.Selector) {
+			out = append(out, kv)
+		}
+	}
+	return out, nil
+}
+
+// matchSelector reports whether doc satisfies every selector field.
+// Values compare by JSON equality; nested objects in the selector must
+// match recursively.
+func matchSelector(doc, selector map[string]any) bool {
+	for field, want := range selector {
+		got, ok := doc[field]
+		if !ok {
+			return false
+		}
+		if !jsonEqual(got, want) {
+			return false
+		}
+	}
+	return true
+}
+
+func jsonEqual(a, b any) bool {
+	switch ta := a.(type) {
+	case map[string]any:
+		tb, ok := b.(map[string]any)
+		if !ok || len(ta) != len(tb) {
+			return false
+		}
+		for k, va := range ta {
+			vb, ok := tb[k]
+			if !ok || !jsonEqual(va, vb) {
+				return false
+			}
+		}
+		return true
+	case []any:
+		tb, ok := b.([]any)
+		if !ok || len(ta) != len(tb) {
+			return false
+		}
+		for i := range ta {
+			if !jsonEqual(ta[i], tb[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}

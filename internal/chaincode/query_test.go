@@ -1,0 +1,138 @@
+package chaincode
+
+import (
+	"reflect"
+	"testing"
+
+	"fabriccrdt/internal/rwset"
+	"fabriccrdt/internal/statedb"
+)
+
+func TestCompositeKeyRoundTrip(t *testing.T) {
+	key, err := CreateCompositeKey("reading", []string{"dev1", "2024-01"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objectType, attrs, err := SplitCompositeKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objectType != "reading" || !reflect.DeepEqual(attrs, []string{"dev1", "2024-01"}) {
+		t.Fatalf("split = %q, %v", objectType, attrs)
+	}
+}
+
+func TestCompositeKeyNoAttributes(t *testing.T) {
+	key, err := CreateCompositeKey("marker", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objectType, attrs, err := SplitCompositeKey(key)
+	if err != nil || objectType != "marker" || len(attrs) != 0 {
+		t.Fatalf("split = %q, %v, %v", objectType, attrs, err)
+	}
+}
+
+func TestCompositeKeyErrors(t *testing.T) {
+	if _, err := CreateCompositeKey("", nil); err == nil {
+		t.Error("empty object type accepted")
+	}
+	if _, err := CreateCompositeKey("t", []string{"has\x00sep"}); err == nil {
+		t.Error("separator in attribute accepted")
+	}
+	if _, _, err := SplitCompositeKey("plain-key"); err == nil {
+		t.Error("non-composite key split")
+	}
+	if _, _, err := SplitCompositeKey("\x00unterminated"); err == nil {
+		t.Error("unterminated composite key split")
+	}
+}
+
+func TestGetByPartialCompositeKey(t *testing.T) {
+	db := statedb.New()
+	batch := statedb.NewUpdateBatch()
+	put := func(objectType string, attrs []string, value string) {
+		key, err := CreateCompositeKey(objectType, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch.Put(key, []byte(value), rwset.Version{BlockNum: 1})
+	}
+	put("reading", []string{"dev1", "a"}, "r1")
+	put("reading", []string{"dev1", "b"}, "r2")
+	put("reading", []string{"dev2", "a"}, "r3")
+	put("shipment", []string{"dev1"}, "s1")
+	batch.Put("plain", []byte("p"), rwset.Version{BlockNum: 1})
+	db.Apply(batch, rwset.Version{BlockNum: 1})
+
+	stub := NewSimStub("tx", nil, db)
+	kvs, err := stub.GetByPartialCompositeKey("reading", []string{"dev1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 2 {
+		t.Fatalf("matches = %d, want 2: %v", len(kvs), kvs)
+	}
+	all, err := stub.GetByPartialCompositeKey("reading", nil)
+	if err != nil || len(all) != 3 {
+		t.Fatalf("all readings = %d, %v", len(all), err)
+	}
+	if _, err := stub.GetByPartialCompositeKey("", nil); err == nil {
+		t.Fatal("empty object type accepted")
+	}
+}
+
+func TestGetQueryResult(t *testing.T) {
+	db := statedb.New()
+	batch := statedb.NewUpdateBatch()
+	batch.Put("d1", []byte(`{"deviceID":"x","zone":"a","n":1}`), rwset.Version{BlockNum: 1})
+	batch.Put("d2", []byte(`{"deviceID":"y","zone":"a"}`), rwset.Version{BlockNum: 1})
+	batch.Put("d3", []byte(`{"deviceID":"x","zone":"b"}`), rwset.Version{BlockNum: 1})
+	batch.Put("raw", []byte("not json"), rwset.Version{BlockNum: 1})
+	db.Apply(batch, rwset.Version{BlockNum: 1})
+	stub := NewSimStub("tx", nil, db)
+
+	kvs, err := stub.GetQueryResult(`{"selector":{"deviceID":"x"}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 2 || kvs[0].Key != "d1" || kvs[1].Key != "d3" {
+		t.Fatalf("matches = %v", kvs)
+	}
+	kvs, err = stub.GetQueryResult(`{"selector":{"deviceID":"x","zone":"a"}}`)
+	if err != nil || len(kvs) != 1 || kvs[0].Key != "d1" {
+		t.Fatalf("conjunction matches = %v, %v", kvs, err)
+	}
+	kvs, err = stub.GetQueryResult(`{"selector":{"n":1}}`)
+	if err != nil || len(kvs) != 1 {
+		t.Fatalf("numeric match = %v, %v", kvs, err)
+	}
+	if _, err := stub.GetQueryResult(`{"selector":{}}`); err == nil {
+		t.Fatal("empty selector accepted")
+	}
+	if _, err := stub.GetQueryResult(`{bad`); err == nil {
+		t.Fatal("bad selector JSON accepted")
+	}
+}
+
+func TestGetQueryResultNestedMatch(t *testing.T) {
+	db := statedb.New()
+	batch := statedb.NewUpdateBatch()
+	batch.Put("k1", []byte(`{"meta":{"org":"Org1","tier":"gold"},"tags":["a","b"]}`), rwset.Version{BlockNum: 1})
+	batch.Put("k2", []byte(`{"meta":{"org":"Org2","tier":"gold"}}`), rwset.Version{BlockNum: 1})
+	db.Apply(batch, rwset.Version{BlockNum: 1})
+	stub := NewSimStub("tx", nil, db)
+
+	kvs, err := stub.GetQueryResult(`{"selector":{"meta":{"org":"Org1","tier":"gold"}}}`)
+	if err != nil || len(kvs) != 1 || kvs[0].Key != "k1" {
+		t.Fatalf("nested match = %v, %v", kvs, err)
+	}
+	kvs, err = stub.GetQueryResult(`{"selector":{"tags":["a","b"]}}`)
+	if err != nil || len(kvs) != 1 {
+		t.Fatalf("array match = %v, %v", kvs, err)
+	}
+	kvs, err = stub.GetQueryResult(`{"selector":{"tags":["b","a"]}}`)
+	if err != nil || len(kvs) != 0 {
+		t.Fatalf("array order must matter: %v, %v", kvs, err)
+	}
+}

@@ -1,0 +1,251 @@
+// Package client implements the application SDK: it drives the
+// execute-order-validate lifecycle on behalf of an application (paper §2.1,
+// Figure 1) — creating proposals, collecting and cross-checking
+// endorsements, assembling the transaction envelope, submitting it for
+// ordering, and waiting for the commit event.
+package client
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fabriccrdt/internal/cryptoid"
+	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/peer"
+	"fabriccrdt/internal/rwset"
+)
+
+// Endorser is the peer surface the client needs for the execution phase.
+type Endorser interface {
+	Endorse(prop peer.Proposal) (peer.ProposalResponse, error)
+	MSPID() string
+	Name() string
+}
+
+// Broadcaster is the ordering service surface the client needs.
+type Broadcaster interface {
+	Broadcast(tx *ledger.Transaction) error
+}
+
+// Client errors.
+var (
+	ErrNoEndorsers        = errors.New("client: no endorsers configured")
+	ErrEndorseMismatch    = errors.New("client: endorsers returned different read/write sets")
+	ErrCommitTimeout      = errors.New("client: timed out waiting for commit")
+	ErrTxFailed           = errors.New("client: transaction failed validation")
+	ErrListenerNotStarted = errors.New("client: commit listener not started")
+)
+
+// Client submits transactions on behalf of one identity.
+type Client struct {
+	signer    *cryptoid.Signer
+	channelID string
+	endorsers []Endorser
+	orderer   Broadcaster
+
+	nonce atomic.Uint64
+
+	mu      sync.Mutex
+	waiters map[string]chan peer.CommitEvent
+	started bool
+	done    chan struct{}
+}
+
+// New creates a client for the given channel submitting through the given
+// endorsers and orderer.
+func New(signer *cryptoid.Signer, channelID string, endorsers []Endorser, orderer Broadcaster) *Client {
+	return &Client{
+		signer:    signer,
+		channelID: channelID,
+		endorsers: endorsers,
+		orderer:   orderer,
+		waiters:   make(map[string]chan peer.CommitEvent),
+	}
+}
+
+// StartCommitListener consumes commit events (from one peer's Events
+// channel) and completes pending waits. Call once before SubmitAndWait.
+func (c *Client) StartCommitListener(events <-chan peer.CommitEvent) {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.done = make(chan struct{})
+	c.mu.Unlock()
+	go func() {
+		defer close(c.done)
+		for ev := range events {
+			c.mu.Lock()
+			ch, ok := c.waiters[ev.TxID]
+			if ok {
+				delete(c.waiters, ev.TxID)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- ev
+			}
+		}
+	}()
+}
+
+// WaitListenerDone blocks until the commit-listener goroutine exits (after
+// the peer closes its event channel).
+func (c *Client) WaitListenerDone() {
+	c.mu.Lock()
+	done := c.done
+	c.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+}
+
+// NewTxID derives a unique transaction ID from the client identity and a
+// monotonic nonce, as Fabric does from (creator, nonce).
+func (c *Client) NewTxID() string {
+	n := c.nonce.Add(1)
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s/%s/%d", c.signer.MSPID, c.signer.Name, n)))
+	return hex.EncodeToString(h[:16])
+}
+
+// Submit runs execution + ordering for one invocation and returns the
+// transaction ID once the envelope is accepted for ordering. It does not
+// wait for commit.
+func (c *Client) Submit(chaincodeName string, args ...[]byte) (string, error) {
+	tx, err := c.prepare(chaincodeName, args)
+	if err != nil {
+		return "", err
+	}
+	tx.SubmitUnixNano = time.Now().UnixNano()
+	if err := c.orderer.Broadcast(tx); err != nil {
+		return "", err
+	}
+	return tx.ID, nil
+}
+
+// SubmitAndWait submits and blocks until the commit event arrives (or
+// timeout). It returns the validation code; a non-committed code is also an
+// ErrTxFailed error.
+func (c *Client) SubmitAndWait(timeout time.Duration, chaincodeName string, args ...[]byte) (ledger.ValidationCode, error) {
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if !started {
+		return ledger.CodeNotValidated, ErrListenerNotStarted
+	}
+	tx, err := c.prepare(chaincodeName, args)
+	if err != nil {
+		return ledger.CodeNotValidated, err
+	}
+	wait := make(chan peer.CommitEvent, 1)
+	c.mu.Lock()
+	c.waiters[tx.ID] = wait
+	c.mu.Unlock()
+	tx.SubmitUnixNano = time.Now().UnixNano()
+	if err := c.orderer.Broadcast(tx); err != nil {
+		c.mu.Lock()
+		delete(c.waiters, tx.ID)
+		c.mu.Unlock()
+		return ledger.CodeNotValidated, err
+	}
+	select {
+	case ev := <-wait:
+		if !ev.Code.Committed() {
+			return ev.Code, fmt.Errorf("%w: %s (%s)", ErrTxFailed, tx.ID, ev.Code)
+		}
+		return ev.Code, nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		delete(c.waiters, tx.ID)
+		c.mu.Unlock()
+		return ledger.CodeNotValidated, fmt.Errorf("%w: %s", ErrCommitTimeout, tx.ID)
+	}
+}
+
+// prepare runs the execution/endorsement phase and assembles the envelope.
+func (c *Client) prepare(chaincodeName string, args [][]byte) (*ledger.Transaction, error) {
+	if len(c.endorsers) == 0 {
+		return nil, ErrNoEndorsers
+	}
+	creator, err := c.signer.Identity.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	prop := peer.Proposal{
+		TxID:      c.NewTxID(),
+		ChannelID: c.channelID,
+		Chaincode: chaincodeName,
+		Args:      args,
+		Creator:   creator,
+	}
+
+	// Execution phase: submit the proposal to all endorsers in parallel
+	// (paper Figure 1, step 1) and collect signed responses (step 2).
+	type outcome struct {
+		resp peer.ProposalResponse
+		err  error
+	}
+	results := make([]outcome, len(c.endorsers))
+	var wg sync.WaitGroup
+	for i, e := range c.endorsers {
+		wg.Add(1)
+		go func(i int, e Endorser) {
+			defer wg.Done()
+			resp, err := e.Endorse(prop)
+			results[i] = outcome{resp: resp, err: err}
+		}(i, e)
+	}
+	wg.Wait()
+
+	var (
+		responses []peer.ProposalResponse
+		firstErr  error
+	)
+	for i, r := range results {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("endorser %s: %w", c.endorsers[i].Name(), r.err)
+			}
+			continue
+		}
+		responses = append(responses, r.resp)
+	}
+	if len(responses) == 0 {
+		return nil, fmt.Errorf("client: all endorsements failed: %w", firstErr)
+	}
+
+	// All endorsers must agree on the simulation result; a mismatch means
+	// non-deterministic chaincode or divergent state.
+	var agreed rwset.ReadWriteSet
+	for i, resp := range responses {
+		if i == 0 {
+			agreed = resp.RWSet
+			continue
+		}
+		if !agreed.Equal(resp.RWSet) {
+			return nil, ErrEndorseMismatch
+		}
+	}
+
+	tx := &ledger.Transaction{
+		ID:        prop.TxID,
+		ChannelID: prop.ChannelID,
+		Chaincode: prop.Chaincode,
+		Creator:   creator,
+		Args:      args,
+		RWSet:     agreed,
+	}
+	for _, resp := range responses {
+		tx.Endorsements = append(tx.Endorsements, ledger.Endorsement{
+			Endorser:  resp.Endorser,
+			Signature: resp.Signature,
+		})
+	}
+	return tx, nil
+}

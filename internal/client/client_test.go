@@ -1,0 +1,193 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fabriccrdt/internal/cryptoid"
+	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/peer"
+	"fabriccrdt/internal/rwset"
+)
+
+// fakeEndorser returns a canned response or error.
+type fakeEndorser struct {
+	name string
+	resp peer.ProposalResponse
+	err  error
+}
+
+func (f *fakeEndorser) Endorse(peer.Proposal) (peer.ProposalResponse, error) {
+	return f.resp, f.err
+}
+func (f *fakeEndorser) MSPID() string { return "Org1" }
+func (f *fakeEndorser) Name() string  { return f.name }
+
+// fakeOrderer records broadcast transactions.
+type fakeOrderer struct {
+	mu  sync.Mutex
+	txs []*ledger.Transaction
+	err error
+}
+
+func (f *fakeOrderer) Broadcast(tx *ledger.Transaction) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return f.err
+	}
+	f.txs = append(f.txs, tx)
+	return nil
+}
+
+func testSigner(t *testing.T) *cryptoid.Signer {
+	t.Helper()
+	ca, err := cryptoid.NewCA("Org1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ca.Issue("client0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func respWith(rw rwset.ReadWriteSet) peer.ProposalResponse {
+	return peer.ProposalResponse{Endorser: []byte("e"), RWSet: rw, Signature: []byte("s")}
+}
+
+func TestNewTxIDUnique(t *testing.T) {
+	c := New(testSigner(t), "ch", nil, &fakeOrderer{})
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := c.NewTxID()
+		if seen[id] {
+			t.Fatalf("duplicate tx ID %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSubmitNoEndorsers(t *testing.T) {
+	c := New(testSigner(t), "ch", nil, &fakeOrderer{})
+	if _, err := c.Submit("cc"); !errors.Is(err, ErrNoEndorsers) {
+		t.Fatalf("err = %v, want ErrNoEndorsers", err)
+	}
+}
+
+func TestSubmitBroadcasts(t *testing.T) {
+	ord := &fakeOrderer{}
+	rw := rwset.ReadWriteSet{Writes: []rwset.Write{{Key: "k", Value: []byte("v")}}}
+	c := New(testSigner(t), "ch", []Endorser{&fakeEndorser{name: "p0", resp: respWith(rw)}}, ord)
+	id, err := c.Submit("cc", []byte("arg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ord.txs) != 1 || ord.txs[0].ID != id {
+		t.Fatalf("broadcast txs = %v", ord.txs)
+	}
+	if ord.txs[0].SubmitUnixNano == 0 {
+		t.Fatal("submit time not stamped")
+	}
+	if len(ord.txs[0].Endorsements) != 1 {
+		t.Fatal("endorsement missing")
+	}
+}
+
+func TestSubmitEndorserMismatch(t *testing.T) {
+	rw1 := rwset.ReadWriteSet{Writes: []rwset.Write{{Key: "k", Value: []byte("v1")}}}
+	rw2 := rwset.ReadWriteSet{Writes: []rwset.Write{{Key: "k", Value: []byte("v2")}}}
+	c := New(testSigner(t), "ch", []Endorser{
+		&fakeEndorser{name: "p0", resp: respWith(rw1)},
+		&fakeEndorser{name: "p1", resp: respWith(rw2)},
+	}, &fakeOrderer{})
+	if _, err := c.Submit("cc"); !errors.Is(err, ErrEndorseMismatch) {
+		t.Fatalf("err = %v, want ErrEndorseMismatch", err)
+	}
+}
+
+func TestSubmitToleratesPartialEndorserFailure(t *testing.T) {
+	rw := rwset.ReadWriteSet{Writes: []rwset.Write{{Key: "k", Value: []byte("v")}}}
+	c := New(testSigner(t), "ch", []Endorser{
+		&fakeEndorser{name: "p0", err: errors.New("down")},
+		&fakeEndorser{name: "p1", resp: respWith(rw)},
+	}, &fakeOrderer{})
+	if _, err := c.Submit("cc"); err != nil {
+		t.Fatalf("submit with one healthy endorser: %v", err)
+	}
+}
+
+func TestSubmitAllEndorsersFail(t *testing.T) {
+	c := New(testSigner(t), "ch", []Endorser{
+		&fakeEndorser{name: "p0", err: errors.New("down")},
+	}, &fakeOrderer{})
+	if _, err := c.Submit("cc"); err == nil {
+		t.Fatal("want error when all endorsers fail")
+	}
+}
+
+func TestSubmitAndWaitRequiresListener(t *testing.T) {
+	rw := rwset.ReadWriteSet{}
+	c := New(testSigner(t), "ch", []Endorser{&fakeEndorser{name: "p", resp: respWith(rw)}}, &fakeOrderer{})
+	if _, err := c.SubmitAndWait(time.Second, "cc"); !errors.Is(err, ErrListenerNotStarted) {
+		t.Fatalf("err = %v, want ErrListenerNotStarted", err)
+	}
+}
+
+func TestSubmitAndWaitTimeout(t *testing.T) {
+	rw := rwset.ReadWriteSet{}
+	events := make(chan peer.CommitEvent)
+	c := New(testSigner(t), "ch", []Endorser{&fakeEndorser{name: "p", resp: respWith(rw)}}, &fakeOrderer{})
+	c.StartCommitListener(events)
+	_, err := c.SubmitAndWait(20*time.Millisecond, "cc")
+	if !errors.Is(err, ErrCommitTimeout) {
+		t.Fatalf("err = %v, want ErrCommitTimeout", err)
+	}
+	close(events)
+	c.WaitListenerDone()
+}
+
+func TestSubmitAndWaitFailureCode(t *testing.T) {
+	rw := rwset.ReadWriteSet{}
+	ord := &fakeOrderer{}
+	events := make(chan peer.CommitEvent, 1)
+	c := New(testSigner(t), "ch", []Endorser{&fakeEndorser{name: "p", resp: respWith(rw)}}, ord)
+	c.StartCommitListener(events)
+	done := make(chan struct{})
+	var (
+		code ledger.ValidationCode
+		err  error
+	)
+	go func() {
+		defer close(done)
+		code, err = c.SubmitAndWait(5*time.Second, "cc")
+	}()
+	// Wait for the broadcast, then emit a failure event for that tx.
+	for {
+		ord.mu.Lock()
+		n := len(ord.txs)
+		ord.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	events <- peer.CommitEvent{TxID: ord.txs[0].ID, Code: ledger.CodeMVCCConflict, BlockNum: 1}
+	<-done
+	if !errors.Is(err, ErrTxFailed) || code != ledger.CodeMVCCConflict {
+		t.Fatalf("code = %v, err = %v", code, err)
+	}
+	close(events)
+	c.WaitListenerDone()
+}
+
+func TestSubmitBroadcastError(t *testing.T) {
+	rw := rwset.ReadWriteSet{}
+	c := New(testSigner(t), "ch", []Endorser{&fakeEndorser{name: "p", resp: respWith(rw)}}, &fakeOrderer{err: errors.New("stopped")})
+	if _, err := c.Submit("cc"); err == nil {
+		t.Fatal("broadcast error swallowed")
+	}
+}

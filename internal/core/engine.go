@@ -1,0 +1,302 @@
+// Package core implements FabricCRDT's contribution: the commit-time merge
+// engine that replaces MVCC validation for CRDT-flagged transactions
+// (paper §5, Algorithms 1 and 2).
+//
+// Within a block, every CRDT-flagged write to the same key is merged into
+// one JSON CRDT document; the converged document then replaces the value in
+// every one of those transactions' write sets, so all of them commit and no
+// update is lost. Non-CRDT transactions are untouched and go through stock
+// MVCC validation.
+//
+// Cross-block continuity: each ledger key's full JSON CRDT document (with
+// operation metadata) is persisted in the state database's metadata space
+// and reloaded to seed the merge of later blocks, so deltas merge against
+// the key's complete history (DESIGN.md §3 records this clarification of
+// the paper's delta semantics).
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"fabriccrdt/internal/crdt"
+	"fabriccrdt/internal/jsoncrdt"
+	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/rwset"
+	"fabriccrdt/internal/statedb"
+)
+
+// MetaPrefix namespaces persisted CRDT documents in the state database's
+// metadata space.
+const MetaPrefix = "crdt/"
+
+// MergeReplica is the replica identifier every peer's merge engine stamps
+// operations with. It must be identical on all peers: peers observe blocks
+// in the same order, so equal inputs + equal replica = equal operation IDs
+// = byte-identical converged documents (paper §5.2: "every peer observes
+// the transactions in a block in the same order; we exploit this property").
+const MergeReplica = "fabriccrdt"
+
+// Options tune the engine.
+type Options struct {
+	// SerializeOncePerKey replaces Algorithm 1's literal second pass —
+	// which re-serializes the converged document into every transaction's
+	// write set (lines 16–22, O(txs × doc size) per block) — with a
+	// serialize-once-per-key cache. Off by default for paper fidelity;
+	// the ablation benchmark (DESIGN.md A1) quantifies the difference.
+	SerializeOncePerKey bool
+	// FreshDocPerBlock is the paper-literal Algorithm 1 behaviour: every
+	// block starts from InitEmptyCRDT, so only the block's own deltas are
+	// merged and nothing is persisted across blocks. The committed world
+	// state then holds only the LAST block's converged readings — updates
+	// from earlier blocks survive solely in the blockchain history. Off
+	// by default: the library seeds each block's documents from the
+	// persisted state so "no update loss" holds across blocks too
+	// (DESIGN.md §3). The paper's evaluation is reproduced with this ON,
+	// which is what yields Figure 3's block-size-dependent merge cost.
+	FreshDocPerBlock bool
+}
+
+// Engine merges the CRDT transactions of blocks for one peer.
+type Engine struct {
+	db       *statedb.DB
+	opts     Options
+	registry *crdt.Registry
+}
+
+// NewEngine returns a merge engine reading and persisting CRDT document
+// state through db.
+func NewEngine(db *statedb.DB, opts Options) *Engine {
+	return &Engine{db: db, opts: opts, registry: crdt.NewRegistry()}
+}
+
+// Registry exposes the datatype registry so deployments can register
+// custom CRDTs before committing blocks that use them.
+func (e *Engine) Registry() *crdt.Registry { return e.registry }
+
+// Result summarizes one block's merge.
+type Result struct {
+	// MergedTxCount is the number of transactions committed via the CRDT
+	// path.
+	MergedTxCount int
+	// MergedKeys lists the distinct ledger keys whose documents were
+	// extended, in first-touch order.
+	MergedKeys []string
+	// DocStates holds the serialized post-merge JSON CRDT document per
+	// key, to be written to the metadata space by the commit batch.
+	DocStates map[string][]byte
+	// TypedStates holds the serialized post-merge classic-CRDT state per
+	// key (the future-work datatypes).
+	TypedStates map[string][]byte
+}
+
+// MergeBlock implements Algorithm 1 (ValidateMergeBlock). codes[i] must be
+// CodeNotValidated for transactions still in play and a failure code for
+// transactions that already failed endorsement validation; the engine sets
+// codes[i] = CodeCRDTMerged for every transaction it commits via the merge
+// path (the paper's SkipMVCCValidation flag) and CodeInvalidCRDT for CRDT
+// transactions carrying unparseable values. Write-set values of merged
+// transactions are rewritten in place to the converged documents.
+//
+// The caller runs stock MVCC validation afterwards for the remaining
+// transactions (Algorithm 1 line 15) and commits both groups in one batch.
+func (e *Engine) MergeBlock(block *ledger.Block, codes []ledger.ValidationCode) (Result, error) {
+	res := Result{
+		DocStates:   make(map[string][]byte),
+		TypedStates: make(map[string][]byte),
+	}
+	docs := make(map[string]*jsoncrdt.Doc)
+	typed := make(map[string]*typedState)
+	seen := make(map[string]struct{})
+
+	// First pass (Algorithm 1 lines 3–14): merge every CRDT-flagged value
+	// into its key's document — or, for typed writes, join it into the
+	// key's classic-CRDT state — in block order.
+	for i, tx := range block.Transactions {
+		if codes[i] != ledger.CodeNotValidated {
+			continue // failed endorsement validation; never merged
+		}
+		if !tx.RWSet.HasCRDTWrites() {
+			continue // non-CRDT transaction: left for MVCC validation
+		}
+		merged := true
+		for wi := range tx.RWSet.Writes {
+			w := &tx.RWSet.Writes[wi]
+			if !w.IsCRDT {
+				continue
+			}
+			err := e.mergeWrite(docs, typed, w)
+			switch {
+			case errors.Is(err, errInvalidDelta):
+				codes[i] = ledger.CodeInvalidCRDT
+				merged = false
+			case err != nil:
+				return Result{}, err
+			}
+			if !merged {
+				break
+			}
+			if _, ok := seen[w.Key]; !ok {
+				seen[w.Key] = struct{}{}
+				res.MergedKeys = append(res.MergedKeys, w.Key)
+			}
+		}
+		if merged {
+			codes[i] = ledger.CodeCRDTMerged
+			res.MergedTxCount++
+		}
+	}
+
+	// Second pass (Algorithm 1 lines 16–22): rewrite every merged
+	// transaction's CRDT write values with the converged documents,
+	// metadata stripped. The paper's literal algorithm converts the
+	// document anew for every transaction; SerializeOncePerKey caches it.
+	cache := make(map[string][]byte)
+	for i, tx := range block.Transactions {
+		if codes[i] != ledger.CodeCRDTMerged {
+			continue
+		}
+		for wi := range tx.RWSet.Writes {
+			w := &tx.RWSet.Writes[wi]
+			if !w.IsCRDT {
+				continue
+			}
+			var converged []byte
+			if e.opts.SerializeOncePerKey {
+				if cached, ok := cache[w.Key]; ok {
+					converged = cached
+				}
+			}
+			if converged == nil {
+				var err error
+				switch {
+				case docs[w.Key] != nil:
+					converged, err = json.Marshal(docs[w.Key].ToJSON())
+				case typed[w.Key] != nil:
+					converged, err = cleanTypedValue(typed[w.Key])
+				default:
+					err = fmt.Errorf("core: merged write for key %q has no document", w.Key)
+				}
+				if err != nil {
+					return Result{}, fmt.Errorf("core: serializing converged value for %q: %w", w.Key, err)
+				}
+				if e.opts.SerializeOncePerKey {
+					cache[w.Key] = converged
+				}
+			}
+			w.Value = converged
+		}
+	}
+
+	// Persist the post-merge classic-CRDT states: always, even in
+	// fresh-per-block mode — a state-based join is cheap and counters are
+	// meaningless without continuity.
+	for key, st := range typed {
+		state, err := crdt.Marshal(st.acc)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: persisting %s state for %q: %w", st.typeName, key, err)
+		}
+		res.TypedStates[key] = state
+	}
+
+	// Persist the post-merge JSON CRDT documents for cross-block seeding
+	// (skipped in the paper-literal fresh-per-block mode).
+	if e.opts.FreshDocPerBlock {
+		return res, nil
+	}
+	for key, doc := range docs {
+		state, err := doc.MarshalBinary()
+		if err != nil {
+			return Result{}, fmt.Errorf("core: persisting document for %q: %w", key, err)
+		}
+		res.DocStates[key] = state
+	}
+	return res, nil
+}
+
+// errInvalidDelta marks merge failures attributable to the transaction's
+// data (unparseable delta, type conflicts); the transaction fails with
+// CodeInvalidCRDT while the block commit proceeds.
+var errInvalidDelta = errors.New("core: invalid CRDT delta")
+
+// mergeWrite routes one CRDT-flagged write to the JSON CRDT or the typed
+// classic-CRDT merge path.
+func (e *Engine) mergeWrite(docs map[string]*jsoncrdt.Doc, typed map[string]*typedState, w *rwset.Write) error {
+	if w.CRDTType == "" {
+		if _, isTyped := typed[w.Key]; isTyped {
+			return fmt.Errorf("%w: key %q already merged as a typed CRDT in this block", errInvalidDelta, w.Key)
+		}
+		doc, err := e.docForKey(docs, w.Key)
+		if err != nil {
+			return err // corrupt persisted state: peer-side, hard failure
+		}
+		var delta any
+		if err := json.Unmarshal(w.Value, &delta); err != nil {
+			return fmt.Errorf("%w: %v", errInvalidDelta, err)
+		}
+		if err := doc.MergeJSON(delta); err != nil {
+			return fmt.Errorf("%w: %v", errInvalidDelta, err)
+		}
+		return nil
+	}
+	if _, isDoc := docs[w.Key]; isDoc {
+		return fmt.Errorf("%w: key %q already merged as a JSON CRDT in this block", errInvalidDelta, w.Key)
+	}
+	st, err := e.typedForKey(typed, w.Key, w.CRDTType)
+	switch {
+	case errors.Is(err, crdt.ErrTypeMismatch), errors.Is(err, crdt.ErrUnknownType):
+		return fmt.Errorf("%w: %v", errInvalidDelta, err)
+	case err != nil:
+		return err // corrupt persisted state: hard failure
+	}
+	if err := e.mergeTypedDelta(st, w.Value); err != nil {
+		return fmt.Errorf("%w: %v", errInvalidDelta, err)
+	}
+	return nil
+}
+
+// docForKey returns the block-local document for key, seeding it from the
+// persisted state of earlier blocks (InitEmptyCRDT in Algorithm 1, extended
+// with cross-block continuity).
+func (e *Engine) docForKey(docs map[string]*jsoncrdt.Doc, key string) (*jsoncrdt.Doc, error) {
+	if doc, ok := docs[key]; ok {
+		return doc, nil
+	}
+	doc := jsoncrdt.NewDoc(MergeReplica)
+	if !e.opts.FreshDocPerBlock {
+		if persisted := e.db.GetMeta(MetaPrefix + key); persisted != nil {
+			if err := doc.UnmarshalBinary(persisted); err != nil {
+				return nil, fmt.Errorf("core: loading persisted document for %q: %w", key, err)
+			}
+		}
+	}
+	docs[key] = doc
+	return doc, nil
+}
+
+// StageDocStates writes the merged document and typed-CRDT states into a
+// commit batch's metadata space.
+func StageDocStates(batch *statedb.UpdateBatch, res Result) {
+	for key, state := range res.DocStates {
+		batch.PutMeta(MetaPrefix+key, state)
+	}
+	for key, state := range res.TypedStates {
+		batch.PutMeta(TypedMetaPrefix+key, state)
+	}
+}
+
+// LoadDoc returns the persisted CRDT document for a ledger key, or nil when
+// the key has never been CRDT-written. Read-side helpers (clients, examples)
+// use it to inspect merge metadata.
+func LoadDoc(db *statedb.DB, key string) (*jsoncrdt.Doc, error) {
+	persisted := db.GetMeta(MetaPrefix + key)
+	if persisted == nil {
+		return nil, nil
+	}
+	doc := jsoncrdt.NewDoc(MergeReplica)
+	if err := doc.UnmarshalBinary(persisted); err != nil {
+		return nil, fmt.Errorf("core: loading persisted document for %q: %w", key, err)
+	}
+	return doc, nil
+}

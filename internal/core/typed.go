@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fabriccrdt/internal/crdt"
+	"fabriccrdt/internal/statedb"
+)
+
+// TypedMetaPrefix namespaces persisted classic-CRDT states in the state
+// database's metadata space, separate from JSON CRDT documents.
+const TypedMetaPrefix = "crdtt/"
+
+// typedState tracks one key's accumulated classic-CRDT state during a
+// block merge.
+type typedState struct {
+	typeName string
+	acc      crdt.CRDT
+}
+
+// typedForKey returns the block-local accumulated state for key, seeding it
+// from the persisted state of earlier blocks. Unlike JSON CRDT documents,
+// typed states are seeded even in FreshDocPerBlock mode: a state-based join
+// is cheap, and counters/sets are meaningless without continuity.
+func (e *Engine) typedForKey(states map[string]*typedState, key, typeName string) (*typedState, error) {
+	if st, ok := states[key]; ok {
+		if st.typeName != typeName {
+			return nil, fmt.Errorf("%w: key %q written as %s and %s in one block",
+				crdt.ErrTypeMismatch, key, st.typeName, typeName)
+		}
+		return st, nil
+	}
+	var acc crdt.CRDT
+	if persisted := e.db.GetMeta(TypedMetaPrefix + key); persisted != nil {
+		loaded, err := e.registry.Unmarshal(persisted)
+		if err != nil {
+			return nil, fmt.Errorf("core: loading persisted %s state for %q: %w", typeName, key, err)
+		}
+		if loaded.TypeName() != typeName {
+			return nil, fmt.Errorf("%w: key %q persisted as %s, written as %s",
+				crdt.ErrTypeMismatch, key, loaded.TypeName(), typeName)
+		}
+		acc = loaded
+	} else {
+		fresh, err := e.registry.New(typeName)
+		if err != nil {
+			return nil, err
+		}
+		acc = fresh
+	}
+	st := &typedState{typeName: typeName, acc: acc}
+	states[key] = st
+	return st, nil
+}
+
+// mergeTypedDelta joins one submitted state into the key's accumulator.
+// A failure to parse or join is a per-transaction problem (the caller marks
+// the transaction CodeInvalidCRDT), not an engine failure.
+func (e *Engine) mergeTypedDelta(st *typedState, value []byte) error {
+	delta, err := e.registry.New(st.typeName)
+	if err != nil {
+		return err
+	}
+	if err := delta.LoadStateJSON(value); err != nil {
+		return fmt.Errorf("core: parsing %s delta: %w", st.typeName, err)
+	}
+	return st.acc.Merge(delta)
+}
+
+// LoadTypedCRDT returns the persisted classic-CRDT state behind a ledger
+// key, or nil when the key was never written as a typed CRDT.
+func LoadTypedCRDT(db *statedb.DB, key string) (crdt.CRDT, error) {
+	persisted := db.GetMeta(TypedMetaPrefix + key)
+	if persisted == nil {
+		return nil, nil
+	}
+	return crdt.NewRegistry().Unmarshal(persisted)
+}
+
+// cleanTypedValue is the world-state representation of a typed CRDT: the
+// datatype's plain value, JSON-encoded (a counter commits as a number, a
+// set as a sorted array, ...).
+func cleanTypedValue(st *typedState) ([]byte, error) {
+	data, err := json.Marshal(st.acc.Value())
+	if err != nil {
+		return nil, fmt.Errorf("core: serializing %s value: %w", st.typeName, err)
+	}
+	return data, nil
+}

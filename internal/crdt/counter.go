@@ -1,0 +1,154 @@
+package crdt
+
+import (
+	"encoding/json"
+	"errors"
+)
+
+// Type names of the counter datatypes.
+const (
+	TypeGCounter  = "g-counter"
+	TypePNCounter = "pn-counter"
+)
+
+// ErrNegativeIncrement reports a negative delta passed to a grow-only type.
+var ErrNegativeIncrement = errors.New("crdt: grow-only counter cannot decrease")
+
+// GCounter is a grow-only counter: each replica owns a monotonically
+// increasing slot and the value is the sum over all slots (paper §2.2's
+// introductory example).
+type GCounter struct {
+	counts map[string]uint64
+}
+
+var _ CRDT = (*GCounter)(nil)
+
+// NewGCounter returns an empty grow-only counter.
+func NewGCounter() *GCounter {
+	return &GCounter{counts: make(map[string]uint64)}
+}
+
+// TypeName implements CRDT.
+func (c *GCounter) TypeName() string { return TypeGCounter }
+
+// Increment adds delta to the replica's slot. A zero delta is a no-op so
+// that the state never carries empty slots (merge would not propagate them,
+// breaking structural equality between converged replicas).
+func (c *GCounter) Increment(replica string, delta uint64) {
+	if delta == 0 {
+		return
+	}
+	c.counts[replica] += delta
+}
+
+// Value implements CRDT: the sum of all replica slots, as uint64.
+func (c *GCounter) Value() any { return c.Sum() }
+
+// Sum returns the counter total.
+func (c *GCounter) Sum() uint64 {
+	var total uint64
+	for _, v := range c.counts {
+		total += v
+	}
+	return total
+}
+
+// Merge implements CRDT: slot-wise maximum.
+func (c *GCounter) Merge(other CRDT) error {
+	o, err := checkType[*GCounter](c, other)
+	if err != nil {
+		return err
+	}
+	for r, v := range o.counts {
+		if v > c.counts[r] {
+			c.counts[r] = v
+		}
+	}
+	return nil
+}
+
+// StateJSON implements CRDT.
+func (c *GCounter) StateJSON() ([]byte, error) { return json.Marshal(c.counts) }
+
+// LoadStateJSON implements CRDT.
+func (c *GCounter) LoadStateJSON(data []byte) error {
+	counts := make(map[string]uint64)
+	if err := json.Unmarshal(data, &counts); err != nil {
+		return err
+	}
+	c.counts = counts
+	return nil
+}
+
+// PNCounter is a counter supporting increments and decrements, built from
+// two G-Counters.
+type PNCounter struct {
+	pos *GCounter
+	neg *GCounter
+}
+
+var _ CRDT = (*PNCounter)(nil)
+
+// NewPNCounter returns an empty PN-Counter.
+func NewPNCounter() *PNCounter {
+	return &PNCounter{pos: NewGCounter(), neg: NewGCounter()}
+}
+
+// TypeName implements CRDT.
+func (c *PNCounter) TypeName() string { return TypePNCounter }
+
+// Increment adds delta (which may be negative) on behalf of replica.
+func (c *PNCounter) Increment(replica string, delta int64) {
+	if delta >= 0 {
+		c.pos.Increment(replica, uint64(delta))
+	} else {
+		c.neg.Increment(replica, uint64(-delta))
+	}
+}
+
+// Value implements CRDT: increments minus decrements, as int64.
+func (c *PNCounter) Value() any { return c.Sum() }
+
+// Sum returns the counter total.
+func (c *PNCounter) Sum() int64 {
+	return int64(c.pos.Sum()) - int64(c.neg.Sum())
+}
+
+// Merge implements CRDT.
+func (c *PNCounter) Merge(other CRDT) error {
+	o, err := checkType[*PNCounter](c, other)
+	if err != nil {
+		return err
+	}
+	if err := c.pos.Merge(o.pos); err != nil {
+		return err
+	}
+	return c.neg.Merge(o.neg)
+}
+
+type pnState struct {
+	Pos map[string]uint64 `json:"pos"`
+	Neg map[string]uint64 `json:"neg"`
+}
+
+// StateJSON implements CRDT.
+func (c *PNCounter) StateJSON() ([]byte, error) {
+	return json.Marshal(pnState{Pos: c.pos.counts, Neg: c.neg.counts})
+}
+
+// LoadStateJSON implements CRDT.
+func (c *PNCounter) LoadStateJSON(data []byte) error {
+	var st pnState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	c.pos = &GCounter{counts: st.Pos}
+	c.neg = &GCounter{counts: st.Neg}
+	if c.pos.counts == nil {
+		c.pos.counts = make(map[string]uint64)
+	}
+	if c.neg.counts == nil {
+		c.neg.counts = make(map[string]uint64)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package crdt
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// TypeGraph is the type name of the add-wins graph datatype.
+const TypeGraph = "aw-graph"
+
+// Graph is an add-wins directed graph built from two OR-Sets (vertices and
+// edges). An edge is visible only while both endpoints are visible, which
+// preserves the graph invariant under concurrent vertex removal.
+type Graph struct {
+	vertices *ORSet
+	edges    *ORSet // encoded "src->dst"
+}
+
+var _ CRDT = (*Graph)(nil)
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{vertices: NewORSet(), edges: NewORSet()}
+}
+
+// Bind sets the replica identity used to tag local mutations.
+func (g *Graph) Bind(replica string) {
+	g.vertices.Bind(replica + "/v")
+	g.edges.Bind(replica + "/e")
+}
+
+// TypeName implements CRDT.
+func (g *Graph) TypeName() string { return TypeGraph }
+
+// AddVertex inserts vertex v.
+func (g *Graph) AddVertex(v string) { g.vertices.Add(v) }
+
+// RemoveVertex removes vertex v (observed-remove semantics).
+func (g *Graph) RemoveVertex(v string) { g.vertices.Remove(v) }
+
+// AddEdge inserts the directed edge src→dst; both endpoints are added too,
+// so the edge is never dangling.
+func (g *Graph) AddEdge(src, dst string) {
+	g.vertices.Add(src)
+	g.vertices.Add(dst)
+	g.edges.Add(edgeKey(src, dst))
+}
+
+// RemoveEdge removes the directed edge src→dst.
+func (g *Graph) RemoveEdge(src, dst string) { g.edges.Remove(edgeKey(src, dst)) }
+
+// HasVertex reports whether v is visible.
+func (g *Graph) HasVertex(v string) bool { return g.vertices.Contains(v) }
+
+// HasEdge reports whether src→dst is visible: the edge tag must be live and
+// both endpoints visible.
+func (g *Graph) HasEdge(src, dst string) bool {
+	return g.edges.Contains(edgeKey(src, dst)) &&
+		g.vertices.Contains(src) && g.vertices.Contains(dst)
+}
+
+// Edge is a visible directed edge.
+type Edge struct {
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+}
+
+// Vertices returns the sorted visible vertices.
+func (g *Graph) Vertices() []string { return g.vertices.Members() }
+
+// Edges returns the visible edges sorted by (src, dst).
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, key := range g.edges.Members() {
+		src, dst, ok := splitEdgeKey(key)
+		if !ok {
+			continue
+		}
+		if g.vertices.Contains(src) && g.vertices.Contains(dst) {
+			out = append(out, Edge{Src: src, Dst: dst})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}
+
+// Value implements CRDT.
+func (g *Graph) Value() any {
+	return map[string]any{"vertices": g.Vertices(), "edges": g.Edges()}
+}
+
+// Merge implements CRDT.
+func (g *Graph) Merge(other CRDT) error {
+	o, err := checkType[*Graph](g, other)
+	if err != nil {
+		return err
+	}
+	if err := g.vertices.Merge(o.vertices); err != nil {
+		return err
+	}
+	return g.edges.Merge(o.edges)
+}
+
+type graphState struct {
+	Vertices json.RawMessage `json:"vertices"`
+	Edges    json.RawMessage `json:"edges"`
+}
+
+// StateJSON implements CRDT.
+func (g *Graph) StateJSON() ([]byte, error) {
+	vs, err := g.vertices.StateJSON()
+	if err != nil {
+		return nil, err
+	}
+	es, err := g.edges.StateJSON()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(graphState{Vertices: vs, Edges: es})
+}
+
+// LoadStateJSON implements CRDT.
+func (g *Graph) LoadStateJSON(data []byte) error {
+	var st graphState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	vertices, edges := NewORSet(), NewORSet()
+	if err := vertices.LoadStateJSON(st.Vertices); err != nil {
+		return err
+	}
+	if err := edges.LoadStateJSON(st.Edges); err != nil {
+		return err
+	}
+	g.vertices, g.edges = vertices, edges
+	return nil
+}
+
+const edgeSep = "\x1f" // unit separator: cannot appear in vertex names
+
+func edgeKey(src, dst string) string { return src + edgeSep + dst }
+
+func splitEdgeKey(key string) (src, dst string, ok bool) {
+	for i := 0; i+len(edgeSep) <= len(key); i++ {
+		if key[i:i+len(edgeSep)] == edgeSep {
+			return key[:i], key[i+len(edgeSep):], true
+		}
+	}
+	return "", "", false
+}

@@ -1,0 +1,216 @@
+package crdt
+
+import (
+	"encoding/json"
+	"sort"
+
+	"fabriccrdt/internal/lamport"
+)
+
+// Type names of the register datatypes.
+const (
+	TypeLWWRegister = "lww-register"
+	TypeLWWMap      = "lww-map"
+)
+
+// LWWRegister is a last-writer-wins register ordered by Lamport timestamp.
+type LWWRegister struct {
+	clock *lamport.Clock
+	stamp lamport.ID
+	value string
+}
+
+var _ CRDT = (*LWWRegister)(nil)
+
+// NewLWWRegister returns an empty register.
+func NewLWWRegister() *LWWRegister {
+	return &LWWRegister{clock: lamport.NewClock("unbound")}
+}
+
+// Bind sets the replica identity used to stamp local writes.
+func (r *LWWRegister) Bind(replica string) {
+	c := lamport.NewClock(replica)
+	c.Restore(r.clock.Counter())
+	r.clock = c
+}
+
+// TypeName implements CRDT.
+func (r *LWWRegister) TypeName() string { return TypeLWWRegister }
+
+// Set writes v with a fresh timestamp.
+func (r *LWWRegister) Set(v string) {
+	r.stamp = r.clock.Tick()
+	r.value = v
+}
+
+// Get returns the current value and whether the register was ever written.
+func (r *LWWRegister) Get() (string, bool) { return r.value, !r.stamp.IsZero() }
+
+// Value implements CRDT.
+func (r *LWWRegister) Value() any { return r.value }
+
+// Merge implements CRDT: the greater timestamp wins.
+func (r *LWWRegister) Merge(other CRDT) error {
+	o, err := checkType[*LWWRegister](r, other)
+	if err != nil {
+		return err
+	}
+	if r.stamp.Less(o.stamp) {
+		r.stamp, r.value = o.stamp, o.value
+	}
+	r.clock.Witness(o.stamp)
+	return nil
+}
+
+type lwwRegState struct {
+	Counter uint64     `json:"counter"`
+	Replica string     `json:"replica"`
+	Stamp   lamport.ID `json:"stamp"`
+	Value   string     `json:"value"`
+}
+
+// StateJSON implements CRDT.
+func (r *LWWRegister) StateJSON() ([]byte, error) {
+	return json.Marshal(lwwRegState{
+		Counter: r.clock.Counter(),
+		Replica: r.clock.Replica(),
+		Stamp:   r.stamp,
+		Value:   r.value,
+	})
+}
+
+// LoadStateJSON implements CRDT.
+func (r *LWWRegister) LoadStateJSON(data []byte) error {
+	var st lwwRegState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	clock := lamport.NewClock(st.Replica)
+	clock.Restore(st.Counter)
+	r.clock = clock
+	r.stamp = st.Stamp
+	r.value = st.Value
+	return nil
+}
+
+// LWWMap is a map of string keys to last-writer-wins values with
+// last-writer-wins deletion.
+type LWWMap struct {
+	clock   *lamport.Clock
+	entries map[string]lwwEntry
+}
+
+type lwwEntry struct {
+	Stamp   lamport.ID `json:"stamp"`
+	Value   string     `json:"value"`
+	Deleted bool       `json:"deleted,omitempty"`
+}
+
+var _ CRDT = (*LWWMap)(nil)
+
+// NewLWWMap returns an empty map.
+func NewLWWMap() *LWWMap {
+	return &LWWMap{
+		clock:   lamport.NewClock("unbound"),
+		entries: make(map[string]lwwEntry),
+	}
+}
+
+// Bind sets the replica identity used to stamp local writes.
+func (m *LWWMap) Bind(replica string) {
+	c := lamport.NewClock(replica)
+	c.Restore(m.clock.Counter())
+	m.clock = c
+}
+
+// TypeName implements CRDT.
+func (m *LWWMap) TypeName() string { return TypeLWWMap }
+
+// Set writes key=value with a fresh timestamp.
+func (m *LWWMap) Set(key, value string) {
+	m.entries[key] = lwwEntry{Stamp: m.clock.Tick(), Value: value}
+}
+
+// Delete tombstones key with a fresh timestamp.
+func (m *LWWMap) Delete(key string) {
+	m.entries[key] = lwwEntry{Stamp: m.clock.Tick(), Deleted: true}
+}
+
+// Get returns the live value of key.
+func (m *LWWMap) Get(key string) (string, bool) {
+	e, ok := m.entries[key]
+	if !ok || e.Deleted {
+		return "", false
+	}
+	return e.Value, true
+}
+
+// Value implements CRDT: a plain map of the live entries.
+func (m *LWWMap) Value() any {
+	out := make(map[string]string)
+	for k, e := range m.entries {
+		if !e.Deleted {
+			out[k] = e.Value
+		}
+	}
+	return out
+}
+
+// Keys returns the sorted live keys.
+func (m *LWWMap) Keys() []string {
+	out := make([]string, 0, len(m.entries))
+	for k, e := range m.entries {
+		if !e.Deleted {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge implements CRDT: per-key greater timestamp wins.
+func (m *LWWMap) Merge(other CRDT) error {
+	o, err := checkType[*LWWMap](m, other)
+	if err != nil {
+		return err
+	}
+	for k, oe := range o.entries {
+		cur, ok := m.entries[k]
+		if !ok || cur.Stamp.Less(oe.Stamp) {
+			m.entries[k] = oe
+		}
+		m.clock.Witness(oe.Stamp)
+	}
+	return nil
+}
+
+type lwwMapState struct {
+	Counter uint64              `json:"counter"`
+	Replica string              `json:"replica"`
+	Entries map[string]lwwEntry `json:"entries,omitempty"`
+}
+
+// StateJSON implements CRDT.
+func (m *LWWMap) StateJSON() ([]byte, error) {
+	return json.Marshal(lwwMapState{
+		Counter: m.clock.Counter(),
+		Replica: m.clock.Replica(),
+		Entries: m.entries,
+	})
+}
+
+// LoadStateJSON implements CRDT.
+func (m *LWWMap) LoadStateJSON(data []byte) error {
+	var st lwwMapState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	clock := lamport.NewClock(st.Replica)
+	clock.Restore(st.Counter)
+	m.clock = clock
+	m.entries = st.Entries
+	if m.entries == nil {
+		m.entries = make(map[string]lwwEntry)
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+// Package cryptoid is the membership service provider (MSP) substrate: a
+// minimal X.509-free certificate authority per organization built on
+// ed25519. Fabric's trust model — every endorsement carries a signature
+// verifiable against an organization CA — is preserved; the ASN.1/X.509
+// envelope is replaced by a deterministic JSON certificate.
+package cryptoid
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by identity operations.
+var (
+	ErrUnknownMSP   = errors.New("cryptoid: unknown MSP")
+	ErrBadCert      = errors.New("cryptoid: certificate verification failed")
+	ErrBadSignature = errors.New("cryptoid: signature verification failed")
+)
+
+// Identity is a public identity: a named member of an organization whose
+// public key is certified by the organization's CA.
+type Identity struct {
+	MSPID     string            `json:"mspID"`
+	Name      string            `json:"name"`
+	PublicKey ed25519.PublicKey `json:"publicKey"`
+	// CertSig is the CA's signature over the (MSPID, Name, PublicKey)
+	// tuple.
+	CertSig []byte `json:"certSig"`
+}
+
+// certPayload returns the byte string the CA signs.
+func (id Identity) certPayload() []byte {
+	return []byte("cert\x00" + id.MSPID + "\x00" + id.Name + "\x00" + string(id.PublicKey))
+}
+
+// Marshal serializes the identity.
+func (id Identity) Marshal() ([]byte, error) { return json.Marshal(id) }
+
+// UnmarshalIdentity parses Marshal output.
+func UnmarshalIdentity(data []byte) (Identity, error) {
+	var id Identity
+	if err := json.Unmarshal(data, &id); err != nil {
+		return Identity{}, fmt.Errorf("cryptoid: decoding identity: %w", err)
+	}
+	return id, nil
+}
+
+// Signer is a private identity capable of signing.
+type Signer struct {
+	Identity
+	priv ed25519.PrivateKey
+}
+
+// Sign signs msg with the identity's private key.
+func (s *Signer) Sign(msg []byte) []byte {
+	return ed25519.Sign(s.priv, msg)
+}
+
+// Verify checks sig over msg against the identity's public key.
+func Verify(id Identity, msg, sig []byte) error {
+	if len(id.PublicKey) != ed25519.PublicKeySize || !ed25519.Verify(id.PublicKey, msg, sig) {
+		return fmt.Errorf("%w: identity %s/%s", ErrBadSignature, id.MSPID, id.Name)
+	}
+	return nil
+}
+
+// CA is an organization's certificate authority.
+type CA struct {
+	mspID string
+	pub   ed25519.PublicKey
+	priv  ed25519.PrivateKey
+}
+
+// NewCA creates a CA with a fresh keypair for the given MSP ID.
+func NewCA(mspID string) (*CA, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoid: generating CA key: %w", err)
+	}
+	return &CA{mspID: mspID, pub: pub, priv: priv}, nil
+}
+
+// MSPID returns the organization identifier the CA certifies for.
+func (ca *CA) MSPID() string { return ca.mspID }
+
+// PublicKey returns the CA root public key.
+func (ca *CA) PublicKey() ed25519.PublicKey { return ca.pub }
+
+// Issue creates and certifies a new member identity.
+func (ca *CA) Issue(name string) (*Signer, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("cryptoid: generating member key: %w", err)
+	}
+	id := Identity{MSPID: ca.mspID, Name: name, PublicKey: pub}
+	id.CertSig = ed25519.Sign(ca.priv, id.certPayload())
+	return &Signer{Identity: id, priv: priv}, nil
+}
+
+// MSP is the verifier side: the set of trusted organization CA roots.
+// The zero value is ready to use. MSP is safe for concurrent use.
+type MSP struct {
+	mu    sync.RWMutex
+	roots map[string]ed25519.PublicKey
+}
+
+// NewMSP returns an empty MSP.
+func NewMSP() *MSP {
+	return &MSP{roots: make(map[string]ed25519.PublicKey)}
+}
+
+// AddOrg trusts an organization's CA root.
+func (m *MSP) AddOrg(mspID string, root ed25519.PublicKey) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.roots == nil {
+		m.roots = make(map[string]ed25519.PublicKey)
+	}
+	m.roots[mspID] = root
+}
+
+// Orgs returns the trusted MSP IDs.
+func (m *MSP) Orgs() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.roots))
+	for id := range m.roots {
+		out = append(out, id)
+	}
+	return out
+}
+
+// VerifyIdentity checks that the identity's certificate chains to a trusted
+// organization root.
+func (m *MSP) VerifyIdentity(id Identity) error {
+	m.mu.RLock()
+	root, ok := m.roots[id.MSPID]
+	m.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownMSP, id.MSPID)
+	}
+	if !ed25519.Verify(root, id.certPayload(), id.CertSig) {
+		return fmt.Errorf("%w: identity %s/%s", ErrBadCert, id.MSPID, id.Name)
+	}
+	return nil
+}
+
+// VerifySignature checks both the certificate chain and a signature by the
+// identity over msg.
+func (m *MSP) VerifySignature(id Identity, msg, sig []byte) error {
+	if err := m.VerifyIdentity(id); err != nil {
+		return err
+	}
+	return Verify(id, msg, sig)
+}

@@ -1,0 +1,99 @@
+// Package des is a deterministic discrete-event simulator: an event queue
+// ordered by virtual time with FIFO tie-breaking. The experiment harness
+// drives the real Fabric/FabricCRDT commit-path code under virtual time so
+// that the paper's hour-long, cluster-scale runs regenerate in seconds of
+// CPU (DESIGN.md S17).
+package des
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Sim is a discrete-event simulation. The zero value is ready to use.
+// Sim is not safe for concurrent use: all events run on the caller's
+// goroutine, which is what makes runs deterministic.
+type Sim struct {
+	now   time.Duration
+	queue eventHeap
+	seq   uint64
+	// processed counts executed events (diagnostics).
+	processed uint64
+}
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, insertion sequence).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() event   { return h[0] }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Processed returns the number of events executed so far.
+func (s *Sim) Processed() uint64 { return s.processed }
+
+// Schedule queues fn to run after delay (clamped to >= 0) of virtual time.
+func (s *Sim) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt queues fn at an absolute virtual time (clamped to now).
+func (s *Sim) ScheduleAt(at time.Duration, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, event{at: at, seq: s.seq, fn: fn})
+}
+
+// Step executes the next event, returning false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(event)
+	s.now = e.at
+	s.processed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time <= deadline; the clock stops at the
+// deadline (or earlier if the queue drains).
+func (s *Sim) RunUntil(deadline time.Duration) {
+	for len(s.queue) > 0 && s.queue.Peek().at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}

@@ -1,0 +1,120 @@
+package des
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var s Sim
+	var order []int
+	s.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	s.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	s.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("now = %v", s.Now())
+	}
+	if s.Processed() != 3 {
+		t.Fatalf("processed = %d", s.Processed())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var s Sim
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie-break violated FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var s Sim
+	var times []time.Duration
+	s.Schedule(10*time.Millisecond, func() {
+		times = append(times, s.Now())
+		s.Schedule(5*time.Millisecond, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 10*time.Millisecond || times[1] != 15*time.Millisecond {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	var s Sim
+	s.Schedule(10*time.Millisecond, func() {
+		s.Schedule(-5*time.Millisecond, func() {
+			if s.Now() != 10*time.Millisecond {
+				t.Errorf("negative delay ran at %v", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	var s Sim
+	fired := false
+	s.Schedule(10*time.Millisecond, func() {
+		s.ScheduleAt(time.Millisecond, func() { fired = true })
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("past-scheduled event dropped")
+	}
+	if s.Now() != 10*time.Millisecond {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Sim
+	var fired []int
+	s.Schedule(10*time.Millisecond, func() { fired = append(fired, 1) })
+	s.Schedule(30*time.Millisecond, func() { fired = append(fired, 2) })
+	s.RunUntil(20 * time.Millisecond)
+	if len(fired) != 1 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Fatalf("now = %v after RunUntil", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 2 || s.Now() != 30*time.Millisecond {
+		t.Fatalf("fired = %v, now = %v", fired, s.Now())
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	var s Sim
+	if s.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s Sim
+		for j := 0; j < 100; j++ {
+			s.Schedule(time.Duration(j)*time.Microsecond, func() {})
+		}
+		s.Run()
+	}
+}

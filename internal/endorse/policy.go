@@ -1,0 +1,318 @@
+// Package endorse implements Fabric's endorsement policy language: boolean
+// expressions over organization principals, e.g.
+//
+//	AND('Org1.member', OR('Org2.member', 'Org3.member'))
+//	OutOf(2, 'Org1.member', 'Org2.member', 'Org3.member')
+//
+// A policy decides which set of endorsing organizations satisfies a
+// chaincode's requirements (paper §2.1: "an endorsement policy specifies
+// which peers from which organizations are required to execute and sign the
+// proposal"). Satisfaction uses set semantics: one valid endorsement from an
+// organization satisfies every leaf naming that organization.
+package endorse
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Policy is a parsed endorsement policy.
+type Policy struct {
+	root node
+	src  string
+}
+
+// node is one expression tree node.
+type node interface {
+	satisfied(orgs map[string]bool) bool
+	fmt.Stringer
+}
+
+// Principal is a leaf: an organization (and role, which the simulation
+// accepts but does not further restrict).
+type Principal struct {
+	MSPID string
+	Role  string
+}
+
+func (p Principal) satisfied(orgs map[string]bool) bool { return orgs[p.MSPID] }
+
+func (p Principal) String() string {
+	if p.Role == "" {
+		return "'" + p.MSPID + "'"
+	}
+	return "'" + p.MSPID + "." + p.Role + "'"
+}
+
+// outOf requires at least N of its children to be satisfied; AND and OR are
+// the n-of-n and 1-of-n special cases.
+type outOf struct {
+	n        int
+	children []node
+	label    string
+}
+
+func (o outOf) satisfied(orgs map[string]bool) bool {
+	count := 0
+	for _, c := range o.children {
+		if c.satisfied(orgs) {
+			count++
+			if count >= o.n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (o outOf) String() string {
+	parts := make([]string, len(o.children))
+	for i, c := range o.children {
+		parts[i] = c.String()
+	}
+	switch o.label {
+	case "AND", "OR":
+		return o.label + "(" + strings.Join(parts, ", ") + ")"
+	default:
+		return "OutOf(" + strconv.Itoa(o.n) + ", " + strings.Join(parts, ", ") + ")"
+	}
+}
+
+// ErrParse reports a malformed policy expression.
+var ErrParse = errors.New("endorse: policy parse error")
+
+// Parse parses a policy expression.
+func Parse(src string) (*Policy, error) {
+	p := &parser{src: src}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("%w: trailing input at offset %d in %q", ErrParse, p.pos, src)
+	}
+	return &Policy{root: root, src: src}, nil
+}
+
+// MustParse parses a policy known to be valid, panicking otherwise; for
+// static configuration only.
+func MustParse(src string) *Policy {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String returns the canonical rendering of the policy.
+func (p *Policy) String() string { return p.root.String() }
+
+// Source returns the original expression text.
+func (p *Policy) Source() string { return p.src }
+
+// Satisfied reports whether endorsements from the given organizations meet
+// the policy.
+func (p *Policy) Satisfied(mspIDs []string) bool {
+	orgs := make(map[string]bool, len(mspIDs))
+	for _, id := range mspIDs {
+		orgs[id] = true
+	}
+	return p.root.satisfied(orgs)
+}
+
+// Organizations returns the distinct organizations the policy mentions, in
+// first-appearance order; clients use this to pick endorsement targets.
+func (p *Policy) Organizations() []string {
+	var out []string
+	seen := make(map[string]bool)
+	var walk func(n node)
+	walk = func(n node) {
+		switch t := n.(type) {
+		case Principal:
+			if !seen[t.MSPID] {
+				seen[t.MSPID] = true
+				out = append(out, t.MSPID)
+			}
+		case outOf:
+			for _, c := range t.children {
+				walk(c)
+			}
+		}
+	}
+	walk(p.root)
+	return out
+}
+
+// parser is a recursive-descent parser over the policy grammar:
+//
+//	expr      := "AND" "(" exprList ")"
+//	           | "OR" "(" exprList ")"
+//	           | "OutOf" "(" int "," exprList ")"
+//	           | principal
+//	exprList  := expr { "," expr }
+//	principal := "'" MSPID [ "." role ] "'"
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *parser) expect(b byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != b {
+		return fmt.Errorf("%w: expected %q at offset %d in %q", ErrParse, string(b), p.pos, p.src)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) peek(b byte) bool {
+	p.skipSpace()
+	return p.pos < len(p.src) && p.src[p.pos] == b
+}
+
+func (p *parser) parseExpr() (node, error) {
+	p.skipSpace()
+	switch {
+	case p.hasKeyword("AND"):
+		children, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		return outOf{n: len(children), children: children, label: "AND"}, nil
+	case p.hasKeyword("OR"):
+		children, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		return outOf{n: 1, children: children, label: "OR"}, nil
+	case p.hasKeyword("OutOf"):
+		return p.parseOutOf()
+	case p.peek('\''):
+		return p.parsePrincipal()
+	default:
+		return nil, fmt.Errorf("%w: unexpected input at offset %d in %q", ErrParse, p.pos, p.src)
+	}
+}
+
+// hasKeyword consumes the keyword if it is next (followed by '(').
+func (p *parser) hasKeyword(kw string) bool {
+	p.skipSpace()
+	end := p.pos + len(kw)
+	if end > len(p.src) || p.src[p.pos:end] != kw {
+		return false
+	}
+	// Must be followed by '(' (possibly after spaces).
+	rest := end
+	for rest < len(p.src) && p.src[rest] == ' ' {
+		rest++
+	}
+	if rest >= len(p.src) || p.src[rest] != '(' {
+		return false
+	}
+	p.pos = end
+	return true
+}
+
+func (p *parser) parseArgs() ([]node, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var children []node
+	for {
+		child, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, child)
+		if p.peek(',') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	if len(children) == 0 {
+		return nil, fmt.Errorf("%w: empty argument list", ErrParse)
+	}
+	return children, nil
+}
+
+func (p *parser) parseOutOf() (node, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if start == p.pos {
+		return nil, fmt.Errorf("%w: OutOf requires a count at offset %d", ErrParse, p.pos)
+	}
+	n, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	if err := p.expect(','); err != nil {
+		return nil, err
+	}
+	var children []node
+	for {
+		child, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, child)
+		if p.peek(',') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	if n < 1 || n > len(children) {
+		return nil, fmt.Errorf("%w: OutOf(%d) with %d children", ErrParse, n, len(children))
+	}
+	return outOf{n: n, children: children, label: "OutOf"}, nil
+}
+
+func (p *parser) parsePrincipal() (node, error) {
+	if err := p.expect('\''); err != nil {
+		return nil, err
+	}
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != '\'' {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("%w: unterminated principal at offset %d", ErrParse, start)
+	}
+	raw := p.src[start:p.pos]
+	p.pos++ // consume closing quote
+	if raw == "" {
+		return nil, fmt.Errorf("%w: empty principal", ErrParse)
+	}
+	msp, role := raw, ""
+	if dot := strings.LastIndexByte(raw, '.'); dot > 0 {
+		msp, role = raw[:dot], raw[dot+1:]
+		switch role {
+		case "member", "peer", "admin", "client":
+		default:
+			return nil, fmt.Errorf("%w: unknown role %q in principal %q", ErrParse, role, raw)
+		}
+	}
+	return Principal{MSPID: msp, Role: role}, nil
+}

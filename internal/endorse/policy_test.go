@@ -1,0 +1,122 @@
+package endorse
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseAndEvaluate(t *testing.T) {
+	cases := []struct {
+		src     string
+		signers []string
+		want    bool
+	}{
+		{"'Org1.member'", []string{"Org1"}, true},
+		{"'Org1.member'", []string{"Org2"}, false},
+		{"'Org1'", []string{"Org1"}, true},
+		{"AND('Org1.member','Org2.member')", []string{"Org1", "Org2"}, true},
+		{"AND('Org1.member','Org2.member')", []string{"Org1"}, false},
+		{"OR('Org1.member','Org2.member')", []string{"Org2"}, true},
+		{"OR('Org1.member','Org2.member')", nil, false},
+		{"OutOf(2,'Org1.member','Org2.member','Org3.member')", []string{"Org1", "Org3"}, true},
+		{"OutOf(2,'Org1.member','Org2.member','Org3.member')", []string{"Org3"}, false},
+		{"AND('Org1.member', OR('Org2.member','Org3.member'))", []string{"Org1", "Org3"}, true},
+		{"AND('Org1.member', OR('Org2.member','Org3.member'))", []string{"Org2", "Org3"}, false},
+		{"OutOf(1, AND('Org1.member','Org2.member'), 'Org3.admin')", []string{"Org3"}, true},
+		{"  OR ( 'Org1.peer' ,  'Org2.client' ) ", []string{"Org2"}, true},
+	}
+	for _, tc := range cases {
+		p, err := Parse(tc.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.src, err)
+			continue
+		}
+		if got := p.Satisfied(tc.signers); got != tc.want {
+			t.Errorf("%q.Satisfied(%v) = %v, want %v", tc.src, tc.signers, got, tc.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"AND()",
+		"AND('Org1.member'",
+		"AND('Org1.member',)",
+		"'unterminated",
+		"''",
+		"OutOf('Org1.member')",
+		"OutOf(0,'Org1.member')",
+		"OutOf(3,'Org1.member','Org2.member')",
+		"XOR('Org1.member')",
+		"'Org1.member' trailing",
+		"'Org1.banana'",
+		"AND 'Org1.member'",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse must panic on bad input")
+		}
+	}()
+	MustParse("AND(")
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"AND('Org1.member', 'Org2.member')",
+		"OR('Org1.member', AND('Org2.member', 'Org3.member'))",
+		"OutOf(2, 'Org1.member', 'Org2.member', 'Org3.member')",
+	}
+	for _, src := range srcs {
+		p, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		// Canonical rendering must itself parse to the same rendering.
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("reparse(%q): %v", p.String(), err)
+		}
+		if p.String() != p2.String() {
+			t.Errorf("unstable rendering: %q vs %q", p.String(), p2.String())
+		}
+	}
+}
+
+func TestOrganizations(t *testing.T) {
+	p := MustParse("AND('Org2.member', OR('Org1.member', 'Org2.member'), 'Org3.member')")
+	got := p.Organizations()
+	want := []string{"Org2", "Org1", "Org3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Organizations = %v, want %v", got, want)
+	}
+	if p.Source() == "" {
+		t.Fatal("Source empty")
+	}
+}
+
+func TestDuplicateSignersCountOnce(t *testing.T) {
+	p := MustParse("AND('Org1.member', 'Org2.member')")
+	if p.Satisfied([]string{"Org1", "Org1"}) {
+		t.Fatal("duplicate Org1 endorsements must not satisfy AND over two orgs")
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	p := MustParse("OutOf(2, 'Org1.member', 'Org2.member', 'Org3.member')")
+	signers := []string{"Org1", "Org3"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !p.Satisfied(signers) {
+			b.Fatal("unexpected unsatisfied")
+		}
+	}
+}

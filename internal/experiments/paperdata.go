@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// PaperSeries holds the numbers a figure of the original publication
+// reports (read from the corrected arXiv:2310.15988 revision), so runs can
+// be compared side by side with `fabriccrdt-bench -compare`.
+type PaperSeries struct {
+	// Labels are the x-axis points, matching the Figure rows.
+	Labels []string
+	// CRDTTput / FabricTput are successful-tx throughputs (tx/s).
+	CRDTTput   []float64
+	FabricTput []float64
+	// CRDTLat / FabricLat are average successful-tx latencies (s).
+	CRDTLat   []float64
+	FabricLat []float64
+	// CRDTSuccess / FabricSuccess are successful-tx counts.
+	CRDTSuccess   []int
+	FabricSuccess []int
+}
+
+// PaperData maps figure IDs to the published numbers.
+var PaperData = map[string]PaperSeries{
+	"fig3": {
+		Labels:        []string{"25", "50", "100", "200", "300", "400", "600", "800", "1000"},
+		CRDTTput:      []float64{267, 246, 217, 106, 58, 41.5, 20, 19, 20},
+		FabricTput:    []float64{0.6, 0.7, 0.4, 0.9, 1.4, 1.4, 1.1, 1.5, 1.1},
+		CRDTLat:       []float64{2.8, 4.8, 8.3, 34, 75, 111, 257, 265, 264},
+		FabricLat:     []float64{3.4, 7.7, 3.1, 2.3, 1, 1, 1.5, 4.3, 1},
+		CRDTSuccess:   []int{10000, 10000, 10000, 10000, 10000, 10000, 10000, 10000, 10000},
+		FabricSuccess: []int{20, 21, 12, 30, 47, 49, 38, 9, 36},
+	},
+	"fig4": {
+		Labels:        []string{"1-1", "3-1", "3-3", "5-1", "5-3", "5-5"},
+		CRDTTput:      []float64{264, 205, 157, 189, 135, 106},
+		FabricTput:    []float64{0.4, 0.3, 6.1, 2.2, 0.4, 0.3},
+		CRDTLat:       []float64{2.7, 12, 20, 17, 32, 43},
+		FabricLat:     []float64{5.3, 4, 7.1, 8.4, 14.3, 9.6},
+		CRDTSuccess:   []int{10000, 10000, 10000, 10000, 10000, 10000},
+		FabricSuccess: []int{11, 10, 6, 12, 15, 5},
+	},
+	"fig5": {
+		Labels:        []string{"2-2", "3-3", "4-4", "5-5", "6-6"},
+		CRDTTput:      []float64{219, 198, 152, 120, 100},
+		FabricTput:    []float64{1.2, 0.2, 0.9, 0.5, 0.3},
+		CRDTLat:       []float64{7, 10, 18, 28, 38},
+		FabricLat:     []float64{2.2, 4.9, 1.8, 5, 3.6},
+		CRDTSuccess:   []int{10000, 10000, 10000, 10000, 10000},
+		FabricSuccess: []int{34, 8, 25, 9, 11},
+	},
+	"fig6": {
+		Labels:        []string{"100", "200", "300", "400", "500"},
+		CRDTTput:      []float64{100, 200, 241, 264, 250},
+		FabricTput:    []float64{0.2, 1.1, 0.7, 0.2, 2.9},
+		CRDTLat:       []float64{0.2, 0.3, 5.5, 7.8, 12},
+		FabricLat:     []float64{6.2, 3.8, 3.1, 5.7, 7.9},
+		CRDTSuccess:   []int{10000, 10000, 10000, 10000, 10000},
+		FabricSuccess: []int{25, 34, 14, 6, 4},
+	},
+	"fig7": {
+		Labels:        []string{"0%", "20%", "40%", "60%", "80%"},
+		CRDTTput:      []float64{240, 240, 234, 240, 215},
+		FabricTput:    []float64{222.6, 229.3, 160, 110.2, 52.4},
+		CRDTLat:       []float64{6, 5.8, 6.2, 5.3, 10.3},
+		FabricLat:     []float64{7.64, 2.26, 6.18, 4.49, 10.22},
+		CRDTSuccess:   []int{10000, 10000, 10000, 10000, 10000},
+		FabricSuccess: []int{10000, 8065, 5973, 4051, 2085},
+	},
+}
+
+// PrintComparison renders a measured figure next to the paper's numbers.
+func PrintComparison(w io.Writer, fig Figure) {
+	paper, ok := PaperData[fig.ID]
+	if !ok {
+		Print(w, fig)
+		return
+	}
+	fmt.Fprintf(w, "\n%s — %s (measured vs. paper)\n", fig.ID, fig.Title)
+	fmt.Fprintf(w, "%-10s | %27s | %27s\n", "", "FabricCRDT (ours / paper)", "Fabric (ours / paper)")
+	fmt.Fprintf(w, "%-10s | %13s %13s | %13s %13s\n", fig.XAxis, "tput tx/s", "avg lat s", "tput tx/s", "successes")
+	for i, r := range fig.Rows {
+		if i >= len(paper.Labels) || r.Label != paper.Labels[i] {
+			// Row sets out of sync (custom sweep): fall back to plain print.
+			Print(w, fig)
+			return
+		}
+		fmt.Fprintf(w, "%-10s | %6.1f/%-6.1f %6.2f/%-6.2f | %6.1f/%-6.1f %6d/%-6d\n",
+			r.Label,
+			r.CRDT.Throughput, paper.CRDTTput[i],
+			r.CRDT.AvgLatency.Seconds(), paper.CRDTLat[i],
+			r.Fabric.Throughput, paper.FabricTput[i],
+			r.Fabric.Successful, paper.FabricSuccess[i])
+	}
+}

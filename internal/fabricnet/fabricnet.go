@@ -1,0 +1,231 @@
+// Package fabricnet assembles complete in-process networks — organizations
+// with CAs, peers, an ordering service and one channel — in the paper's
+// topology (§7.2: three organizations, two peers each, one orderer, one
+// channel) and wires the live delivery pipeline: orderer deliver channels
+// feed each peer's committer goroutine.
+package fabricnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"fabriccrdt/internal/chaincode"
+	"fabriccrdt/internal/client"
+	"fabriccrdt/internal/core"
+	"fabriccrdt/internal/cryptoid"
+	"fabriccrdt/internal/endorse"
+	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/orderer"
+	"fabriccrdt/internal/peer"
+)
+
+// OrgConfig describes one organization.
+type OrgConfig struct {
+	MSPID string
+	Peers int
+}
+
+// Config describes a network.
+type Config struct {
+	ChannelID string
+	Orgs      []OrgConfig
+	Orderer   orderer.Config
+	// EnableCRDT makes every peer a FabricCRDT peer; off = stock Fabric.
+	EnableCRDT bool
+	// EngineOptions tunes the merge engine on every peer.
+	EngineOptions core.Options
+}
+
+// PaperConfig returns the paper's fixed evaluation topology (§7.2) with the
+// given block size: 3 organizations × 2 peers, one channel.
+func PaperConfig(maxBlockTxs int, enableCRDT bool) Config {
+	return Config{
+		ChannelID: "channel1",
+		Orgs: []OrgConfig{
+			{MSPID: "Org1", Peers: 2},
+			{MSPID: "Org2", Peers: 2},
+			{MSPID: "Org3", Peers: 2},
+		},
+		Orderer:    orderer.DefaultConfig(maxBlockTxs),
+		EnableCRDT: enableCRDT,
+	}
+}
+
+// Network is a running in-process Fabric/FabricCRDT network.
+type Network struct {
+	cfg     Config
+	cas     map[string]*cryptoid.CA
+	msp     *cryptoid.MSP
+	peers   []*peer.Peer
+	orderer *orderer.Service
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	wg      sync.WaitGroup
+	errMu   sync.Mutex
+	charge  []error
+}
+
+// New builds the network: CAs, peer identities, peers, orderer.
+func New(cfg Config) (*Network, error) {
+	if cfg.ChannelID == "" {
+		return nil, errors.New("fabricnet: empty channel ID")
+	}
+	if len(cfg.Orgs) == 0 {
+		return nil, errors.New("fabricnet: no organizations")
+	}
+	n := &Network{
+		cfg: cfg,
+		cas: make(map[string]*cryptoid.CA, len(cfg.Orgs)),
+		msp: cryptoid.NewMSP(),
+	}
+	for _, org := range cfg.Orgs {
+		ca, err := cryptoid.NewCA(org.MSPID)
+		if err != nil {
+			return nil, fmt.Errorf("fabricnet: creating CA for %s: %w", org.MSPID, err)
+		}
+		n.cas[org.MSPID] = ca
+		n.msp.AddOrg(org.MSPID, ca.PublicKey())
+	}
+	for _, org := range cfg.Orgs {
+		for i := 0; i < org.Peers; i++ {
+			name := fmt.Sprintf("%s.peer%d", org.MSPID, i)
+			signer, err := n.cas[org.MSPID].Issue(name)
+			if err != nil {
+				return nil, fmt.Errorf("fabricnet: issuing identity for %s: %w", name, err)
+			}
+			p := peer.New(peer.Config{
+				Name:          name,
+				MSPID:         org.MSPID,
+				ChannelID:     cfg.ChannelID,
+				EnableCRDT:    cfg.EnableCRDT,
+				EngineOptions: cfg.EngineOptions,
+			}, signer, n.msp)
+			n.peers = append(n.peers, p)
+		}
+	}
+	n.orderer = orderer.NewService(cfg.Orderer, n.peers[0].Genesis())
+	return n, nil
+}
+
+// Peers returns all peers (ordered by organization, then index).
+func (n *Network) Peers() []*peer.Peer { return n.peers }
+
+// Peer returns the named peer.
+func (n *Network) Peer(name string) (*peer.Peer, error) {
+	for _, p := range n.peers {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("fabricnet: unknown peer %q", name)
+}
+
+// AnchorPeer returns one peer per organization (the .peer0 of each).
+func (n *Network) AnchorPeer(mspID string) (*peer.Peer, error) {
+	return n.Peer(mspID + ".peer0")
+}
+
+// Orderer returns the ordering service.
+func (n *Network) Orderer() *orderer.Service { return n.orderer }
+
+// InstallChaincode installs a chaincode on every peer with the given
+// endorsement policy expression.
+func (n *Network) InstallChaincode(name string, cc chaincode.Chaincode, policyExpr string) error {
+	policy, err := endorse.Parse(policyExpr)
+	if err != nil {
+		return fmt.Errorf("fabricnet: installing %q: %w", name, err)
+	}
+	for _, p := range n.peers {
+		p.InstallChaincode(name, cc, policy)
+	}
+	return nil
+}
+
+// Start subscribes every peer to the ordering service and launches its
+// committer goroutine.
+func (n *Network) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return
+	}
+	n.started = true
+	for _, p := range n.peers {
+		deliver := n.orderer.Subscribe()
+		n.wg.Add(1)
+		go func(p *peer.Peer, deliver <-chan *ledger.Block) {
+			defer n.wg.Done()
+			for block := range deliver {
+				if _, err := p.CommitBlock(block); err != nil {
+					n.recordError(fmt.Errorf("peer %s: %w", p.Name(), err))
+					return
+				}
+			}
+		}(p, deliver)
+	}
+}
+
+func (n *Network) recordError(err error) {
+	n.errMu.Lock()
+	defer n.errMu.Unlock()
+	n.charge = append(n.charge, err)
+}
+
+// Err returns the first committer error, if any.
+func (n *Network) Err() error {
+	n.errMu.Lock()
+	defer n.errMu.Unlock()
+	if len(n.charge) == 0 {
+		return nil
+	}
+	return n.charge[0]
+}
+
+// Stop flushes the orderer, waits for all peers to drain their deliver
+// channels, and closes peer event streams.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	if !n.started || n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.mu.Unlock()
+	n.orderer.Stop()
+	n.wg.Wait()
+	for _, p := range n.peers {
+		p.CloseEvents()
+	}
+}
+
+// NewClient issues a fresh client identity from the organization's CA and
+// wires it to endorsers satisfying the given policy organizations. The
+// client's commit listener is attached to the organization's anchor peer.
+func (n *Network) NewClient(mspID, name string, endorserOrgs []string) (*client.Client, error) {
+	ca, ok := n.cas[mspID]
+	if !ok {
+		return nil, fmt.Errorf("fabricnet: unknown org %q", mspID)
+	}
+	signer, err := ca.Issue(name)
+	if err != nil {
+		return nil, err
+	}
+	var endorsers []client.Endorser
+	for _, org := range endorserOrgs {
+		p, err := n.AnchorPeer(org)
+		if err != nil {
+			return nil, err
+		}
+		endorsers = append(endorsers, p)
+	}
+	c := client.New(signer, n.cfg.ChannelID, endorsers, n.orderer)
+	anchor, err := n.AnchorPeer(mspID)
+	if err != nil {
+		return nil, err
+	}
+	c.StartCommitListener(anchor.Events())
+	return c, nil
+}

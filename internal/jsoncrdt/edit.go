@@ -1,0 +1,171 @@
+package jsoncrdt
+
+import (
+	"fmt"
+
+	"fabriccrdt/internal/lamport"
+)
+
+// The path-based editing API below is the library-user surface (the paper's
+// §5.2 notes the raw operational API is "cumbersome to use"; FabricCRDT
+// hides it behind the peer-side merge, and this file hides it behind paths
+// for applications such as collaborative document editing).
+
+// Assign writes a scalar (string, float64, bool, nil) or an empty container
+// at the map key addressed by path, replacing whatever is currently visible
+// there. It returns the generated operation for replication.
+func (d *Doc) Assign(value any, path ...string) (Operation, error) {
+	if len(path) == 0 {
+		return Operation{}, fmt.Errorf("jsoncrdt: assign requires a non-empty path")
+	}
+	cursor, err := d.editCursor(path)
+	if err != nil {
+		return Operation{}, err
+	}
+	val, err := editValue(value)
+	if err != nil {
+		return Operation{}, err
+	}
+	deps := d.liveIDsAt(cursor)
+	return d.newLocalOp(cursor, Mutation{Kind: MutAssign, Value: val}, deps)
+}
+
+// InsertAt inserts a value into the list addressed by path so that it
+// becomes the element at the given visible index (0 inserts at the head,
+// list length appends). Containers are inserted empty; extend them with
+// further Assign/InsertAt calls on paths through the new element.
+func (d *Doc) InsertAt(index int, value any, path ...string) (Operation, error) {
+	cursor, err := d.editCursor(path)
+	if err != nil {
+		return Operation{}, err
+	}
+	val, err := editValue(value)
+	if err != nil {
+		return Operation{}, err
+	}
+	var after lamport.ID
+	if index > 0 {
+		e := d.lookup(cursor)
+		if e == nil || e.list == nil {
+			return Operation{}, fmt.Errorf("%w at %v", ErrNotAList, path)
+		}
+		el, err := visibleElem(e.list, index-1)
+		if err != nil {
+			return Operation{}, fmt.Errorf("jsoncrdt: insert at %v: %w", path, err)
+		}
+		after = el.id
+	}
+	return d.newLocalOp(cursor, Mutation{Kind: MutInsert, Value: val, After: after}, nil)
+}
+
+// Append inserts a value after the current tail of the list at path.
+func (d *Doc) Append(value any, path ...string) (Operation, error) {
+	cursor, err := d.editCursor(path)
+	if err != nil {
+		return Operation{}, err
+	}
+	val, err := editValue(value)
+	if err != nil {
+		return Operation{}, err
+	}
+	return d.newLocalOp(cursor, Mutation{Kind: MutInsert, Value: val, After: d.listTailID(cursor)}, nil)
+}
+
+// Delete clears the value at path (a map key or a list element addressed by
+// its visible index). Content written concurrently with this delete
+// survives (add-wins).
+func (d *Doc) Delete(path ...string) (Operation, error) {
+	if len(path) == 0 {
+		return Operation{}, fmt.Errorf("jsoncrdt: delete requires a non-empty path")
+	}
+	cursor, err := d.PathCursor(path...)
+	if err != nil {
+		return Operation{}, err
+	}
+	deps := d.liveIDsAt(cursor)
+	return d.newLocalOp(cursor, Mutation{Kind: MutDelete}, deps)
+}
+
+// Get returns the plain value at path, with ok reporting presence.
+func (d *Doc) Get(path ...string) (any, bool) {
+	if len(path) == 0 {
+		return d.ToJSON(), true
+	}
+	cursor, err := d.PathCursor(path...)
+	if err != nil {
+		return nil, false
+	}
+	e := d.lookup(cursor)
+	if e == nil || !e.visible() {
+		return nil, false
+	}
+	v, ok := entryToJSON(e)
+	return v, ok
+}
+
+// Len returns the number of visible elements of the list at path, or -1 if
+// the path does not hold a list.
+func (d *Doc) Len(path ...string) int {
+	cursor, err := d.PathCursor(path...)
+	if err != nil {
+		return -1
+	}
+	e := d.lookup(cursor)
+	if e == nil || e.list == nil {
+		return -1
+	}
+	return e.list.length()
+}
+
+// editCursor resolves a path for writing: existing segments resolve as in
+// PathCursor, and a final missing map key is allowed (it will be created by
+// the operation itself).
+func (d *Doc) editCursor(path []string) (Cursor, error) {
+	if len(path) == 0 {
+		return nil, fmt.Errorf("jsoncrdt: empty path")
+	}
+	if len(path) == 1 {
+		return Cursor{MapKey(path[0])}, nil
+	}
+	parent, err := d.PathCursor(path[:len(path)-1]...)
+	if err != nil {
+		return nil, err
+	}
+	// The final segment: a list index must resolve against an existing
+	// element; a map key may be new.
+	e := d.lookup(parent)
+	if e != nil && e.list != nil {
+		full, err := d.PathCursor(path...)
+		if err != nil {
+			return nil, err
+		}
+		return full, nil
+	}
+	return parent.Extend(MapKey(path[len(path)-1])), nil
+}
+
+// EmptyMap and EmptyList are sentinels accepted by Assign/InsertAt/Append to
+// create container nodes.
+type containerSentinel int
+
+const (
+	// EmptyMap creates an empty JSON object node.
+	EmptyMap containerSentinel = iota + 1
+	// EmptyList creates an empty JSON array node.
+	EmptyList
+)
+
+// editValue converts an API-level value into a mutation Value.
+func editValue(v any) (Value, error) {
+	switch tv := v.(type) {
+	case containerSentinel:
+		if tv == EmptyMap {
+			return Value{Kind: ValEmptyMap}, nil
+		}
+		return Value{Kind: ValEmptyList}, nil
+	case string, float64, float32, int, int64, bool, nil:
+		return scalarValue(tv), nil
+	default:
+		return Value{}, fmt.Errorf("%w: %T (use EmptyMap/EmptyList for containers)", ErrUnsupportedType, v)
+	}
+}

@@ -1,0 +1,174 @@
+package jsoncrdt
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"fabriccrdt/internal/lamport"
+)
+
+// ToJSON returns the document as a plain Go value (map[string]any /
+// []any / scalars) with every piece of CRDT metadata stripped — the paper's
+// "ConvertCRDTToDataType" (Algorithm 1 line 20).
+//
+// Determinism rules, identical on every replica:
+//
+//   - an entry is present iff its presence set is non-empty;
+//   - a multi-value register renders the value written by the greatest
+//     operation ID (ConflictsAt exposes all concurrent values);
+//   - when concurrent type-conflicting updates leave several branches
+//     populated, registers win over maps, maps over lists;
+//   - list elements appear in list order, skipping tombstones.
+func (d *Doc) ToJSON() map[string]any {
+	return mapToJSON(d.root)
+}
+
+// MarshalJSON renders ToJSON with encoding/json, keys sorted.
+func (d *Doc) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.ToJSON())
+}
+
+func mapToJSON(m *mapNode) map[string]any {
+	out := make(map[string]any, len(m.entries))
+	for key, e := range m.entries {
+		if !e.visible() {
+			continue
+		}
+		if v, ok := entryToJSON(e); ok {
+			out[key] = v
+		}
+	}
+	return out
+}
+
+func listToJSON(l *listNode) []any {
+	out := make([]any, 0, len(l.index))
+	for el := l.head.next; el != nil; el = el.next {
+		if !el.ent.visible() {
+			continue
+		}
+		if v, ok := entryToJSON(el.ent); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// entryToJSON converts one entry to its plain value; ok is false when the
+// entry carries no renderable content (e.g. fully cleared register).
+func entryToJSON(e *entry) (any, bool) {
+	if len(e.reg) > 0 {
+		return resolveRegister(e.reg).Interface(), true
+	}
+	if e.mapN != nil {
+		return mapToJSON(e.mapN), true
+	}
+	if e.list != nil {
+		return listToJSON(e.list), true
+	}
+	return nil, false
+}
+
+// resolveRegister picks the register value written by the greatest operation
+// ID — the deterministic "last writer in Lamport order wins" presentation.
+func resolveRegister(reg map[lamport.ID]Value) Value {
+	var (
+		best   lamport.ID
+		bestV  Value
+		picked bool
+	)
+	for id, v := range reg {
+		if !picked || best.Less(id) {
+			best, bestV, picked = id, v, true
+		}
+	}
+	return bestV
+}
+
+// Conflict is one concurrently written register value.
+type Conflict struct {
+	// ID identifies the operation that wrote the value.
+	ID lamport.ID
+	// Value is the scalar that was written.
+	Value any
+}
+
+// ConflictsAt returns every concurrently-live scalar value registered at the
+// given path (see PathCursor for path syntax), ordered by operation ID with
+// the winning (rendered) value last. It returns nil when the path holds no
+// register or at most one value.
+func (d *Doc) ConflictsAt(path ...string) []Conflict {
+	cursor, err := d.PathCursor(path...)
+	if err != nil {
+		return nil
+	}
+	e := d.lookup(cursor)
+	if e == nil || len(e.reg) < 2 {
+		return nil
+	}
+	out := make([]Conflict, 0, len(e.reg))
+	for id, v := range e.reg {
+		out = append(out, Conflict{ID: id, Value: v.Interface()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}
+
+// PathCursor resolves a path of map keys and decimal list indexes (e.g.
+// "readings", "0", "temperature") against the current document state,
+// returning the cursor addressing it. List indexes count visible elements.
+func (d *Doc) PathCursor(path ...string) (Cursor, error) {
+	cursor := Cursor{}
+	var (
+		curMap  = d.root
+		curList *listNode
+		e       *entry
+	)
+	for i, seg := range path {
+		switch {
+		case curMap != nil:
+			e = curMap.child(seg, false)
+			if e == nil {
+				return nil, fmt.Errorf("jsoncrdt: path %v: no key %q", path[:i+1], seg)
+			}
+			cursor = cursor.Extend(MapKey(seg))
+		case curList != nil:
+			idx := 0
+			if _, err := fmt.Sscanf(seg, "%d", &idx); err != nil {
+				return nil, fmt.Errorf("jsoncrdt: path %v: %q is not a list index", path[:i+1], seg)
+			}
+			el, err := visibleElem(curList, idx)
+			if err != nil {
+				return nil, fmt.Errorf("jsoncrdt: path %v: %w", path[:i+1], err)
+			}
+			e = el.ent
+			cursor = cursor.Extend(ListElem(el.id))
+		default:
+			return nil, fmt.Errorf("jsoncrdt: path %v: %q descends into a scalar", path[:i+1], seg)
+		}
+		curMap, curList = nil, nil
+		if i+1 < len(path) {
+			curMap, curList = e.mapN, e.list
+		}
+	}
+	return cursor, nil
+}
+
+// visibleElem returns the idx-th visible element of l.
+func visibleElem(l *listNode, idx int) (*listElem, error) {
+	if idx < 0 {
+		return nil, fmt.Errorf("negative index %d", idx)
+	}
+	n := 0
+	for el := l.head.next; el != nil; el = el.next {
+		if !el.ent.visible() {
+			continue
+		}
+		if n == idx {
+			return el, nil
+		}
+		n++
+	}
+	return nil, fmt.Errorf("index %d out of range (%d visible)", idx, n)
+}

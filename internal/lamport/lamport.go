@@ -1,0 +1,124 @@
+// Package lamport implements Lamport logical clocks and the globally unique,
+// totally ordered operation identifiers built from them.
+//
+// FabricCRDT (Middleware '19, §5.2) assigns every JSON CRDT mutation an
+// identifier drawn from a Lamport clock so that all peers — which observe the
+// transactions of a block in the same order — derive identical identifiers
+// and therefore identical merged documents.
+package lamport
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ID is a Lamport timestamp: a (counter, replica) pair totally ordered first
+// by counter and then by replica identifier. The zero value is "no ID".
+type ID struct {
+	// Counter is the logical-clock value at which the ID was issued.
+	Counter uint64
+	// Replica identifies the issuing replica. It must not contain '@'.
+	Replica string
+}
+
+// IsZero reports whether id is the zero (absent) identifier.
+func (id ID) IsZero() bool { return id.Counter == 0 && id.Replica == "" }
+
+// Less reports whether id is ordered strictly before other.
+func (id ID) Less(other ID) bool { return Compare(id, other) < 0 }
+
+// Compare returns -1, 0 or +1 ordering a relative to b.
+func Compare(a, b ID) int {
+	switch {
+	case a.Counter < b.Counter:
+		return -1
+	case a.Counter > b.Counter:
+		return 1
+	}
+	return strings.Compare(a.Replica, b.Replica)
+}
+
+// Max returns the larger of a and b in the total order.
+func Max(a, b ID) ID {
+	if a.Less(b) {
+		return b
+	}
+	return a
+}
+
+// String renders the ID as "counter@replica", the textual form used as a map
+// key inside JSON CRDT documents.
+func (id ID) String() string {
+	return strconv.FormatUint(id.Counter, 10) + "@" + id.Replica
+}
+
+// ErrBadID reports a malformed textual identifier.
+var ErrBadID = errors.New("lamport: malformed id")
+
+// Parse parses the "counter@replica" form produced by ID.String.
+func Parse(s string) (ID, error) {
+	at := strings.IndexByte(s, '@')
+	if at <= 0 {
+		return ID{}, fmt.Errorf("%w: %q", ErrBadID, s)
+	}
+	n, err := strconv.ParseUint(s[:at], 10, 64)
+	if err != nil {
+		return ID{}, fmt.Errorf("%w: %q: %v", ErrBadID, s, err)
+	}
+	return ID{Counter: n, Replica: s[at+1:]}, nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (id ID) MarshalText() ([]byte, error) { return []byte(id.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (id *ID) UnmarshalText(b []byte) error {
+	parsed, err := Parse(string(b))
+	if err != nil {
+		return err
+	}
+	*id = parsed
+	return nil
+}
+
+// Clock is a Lamport logical clock bound to one replica. The zero value is
+// unusable; construct with NewClock. Clock is not safe for concurrent use.
+type Clock struct {
+	replica string
+	counter uint64
+}
+
+// NewClock returns a clock for the given replica identifier.
+func NewClock(replica string) *Clock {
+	return &Clock{replica: replica}
+}
+
+// Replica returns the replica identifier the clock stamps IDs with.
+func (c *Clock) Replica() string { return c.replica }
+
+// Tick advances the clock and returns a fresh identifier.
+func (c *Clock) Tick() ID {
+	c.counter++
+	return ID{Counter: c.counter, Replica: c.replica}
+}
+
+// Now returns the identifier of the most recent tick without advancing.
+func (c *Clock) Now() ID {
+	return ID{Counter: c.counter, Replica: c.replica}
+}
+
+// Counter returns the current counter value.
+func (c *Clock) Counter() uint64 { return c.counter }
+
+// Witness folds an observed remote identifier into the clock so that
+// subsequent ticks are ordered after it (Lamport's receive rule).
+func (c *Clock) Witness(id ID) {
+	if id.Counter > c.counter {
+		c.counter = id.Counter
+	}
+}
+
+// Restore resets the counter, used when reloading persisted documents.
+func (c *Clock) Restore(counter uint64) { c.counter = counter }

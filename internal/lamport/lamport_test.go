@@ -1,0 +1,166 @@
+package lamport
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTickMonotonic(t *testing.T) {
+	c := NewClock("p0")
+	prev := c.Tick()
+	for i := 0; i < 100; i++ {
+		next := c.Tick()
+		if !prev.Less(next) {
+			t.Fatalf("tick %d not monotonic: %v !< %v", i, prev, next)
+		}
+		prev = next
+	}
+}
+
+func TestWitnessAdvances(t *testing.T) {
+	c := NewClock("p0")
+	c.Tick()
+	c.Witness(ID{Counter: 41, Replica: "p1"})
+	got := c.Tick()
+	if got.Counter != 42 {
+		t.Fatalf("tick after witness(41) = %d, want 42", got.Counter)
+	}
+	// Witnessing an older ID must not regress the clock.
+	c.Witness(ID{Counter: 3, Replica: "p9"})
+	if got := c.Tick(); got.Counter != 43 {
+		t.Fatalf("tick after stale witness = %d, want 43", got.Counter)
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	cases := []struct {
+		a, b ID
+		want int
+	}{
+		{ID{1, "a"}, ID{2, "a"}, -1},
+		{ID{2, "a"}, ID{1, "a"}, 1},
+		{ID{1, "a"}, ID{1, "b"}, -1},
+		{ID{1, "b"}, ID{1, "a"}, 1},
+		{ID{1, "a"}, ID{1, "a"}, 0},
+	}
+	for _, tc := range cases {
+		if got := Compare(tc.a, tc.b); got != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestMax(t *testing.T) {
+	a, b := ID{1, "z"}, ID{2, "a"}
+	if got := Max(a, b); got != b {
+		t.Fatalf("Max = %v, want %v", got, b)
+	}
+	if got := Max(b, a); got != b {
+		t.Fatalf("Max reversed = %v, want %v", got, b)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	ids := []ID{
+		{Counter: 1, Replica: "p0"},
+		{Counter: 18446744073709551615, Replica: "peer-with-dashes"},
+		{Counter: 7, Replica: "org1.peer0"},
+	}
+	for _, id := range ids {
+		got, err := Parse(id.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", id.String(), err)
+		}
+		if got != id {
+			t.Fatalf("round trip %v -> %v", id, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "@", "@p0", "x@p0", "-1@p0", "12", "1.5@p0"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestTextMarshalRoundTrip(t *testing.T) {
+	id := ID{Counter: 9, Replica: "p1"}
+	b, err := id.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ID
+	if err := back.UnmarshalText(b); err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatalf("text round trip %v -> %v", id, back)
+	}
+}
+
+func TestUnmarshalTextError(t *testing.T) {
+	var id ID
+	if err := id.UnmarshalText([]byte("bogus")); err == nil {
+		t.Fatal("want error for bogus text")
+	}
+}
+
+func TestZero(t *testing.T) {
+	var id ID
+	if !id.IsZero() {
+		t.Fatal("zero value must report IsZero")
+	}
+	if (ID{Counter: 1}).IsZero() || (ID{Replica: "p"}).IsZero() {
+		t.Fatal("non-zero values must not report IsZero")
+	}
+}
+
+// Property: Compare is antisymmetric and string order agrees with Compare on
+// equal-counter IDs.
+func TestCompareProperties(t *testing.T) {
+	f := func(c1, c2 uint64, r1, r2 string) bool {
+		a := ID{Counter: c1, Replica: r1}
+		b := ID{Counter: c2, Replica: r2}
+		if Compare(a, b) != -Compare(b, a) {
+			return false
+		}
+		if Compare(a, a) != 0 || Compare(b, b) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parse(string(id)) == id for all ids with '@'-free replicas.
+func TestParseRoundTripProperty(t *testing.T) {
+	f := func(counter uint64, replicaSeed uint8) bool {
+		replica := "replica-" + string(rune('a'+replicaSeed%26))
+		id := ID{Counter: counter, Replica: replica}
+		back, err := Parse(id.String())
+		return err == nil && back == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTick(b *testing.B) {
+	c := NewClock("p0")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = c.Tick()
+	}
+}
+
+func BenchmarkIDString(b *testing.B) {
+	id := ID{Counter: 123456, Replica: "org1.peer0"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = id.String()
+	}
+}

@@ -1,0 +1,320 @@
+// Package ledger implements a Fabric peer's ledger: transaction envelopes,
+// blocks with a SHA-256 hash chain, per-transaction validation flags, and an
+// append-only block store (paper §2.1: "the peer's ledger consists of an
+// append-only blockchain and a world state database").
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"fabriccrdt/internal/rwset"
+)
+
+// ValidationCode is the outcome a committer assigns to a transaction.
+// Fabric appends both valid and invalid transactions to the chain, marking
+// each with its code.
+type ValidationCode int
+
+const (
+	// CodeNotValidated is the zero state before commit-time validation.
+	CodeNotValidated ValidationCode = iota
+	// CodeValid marks a successfully committed transaction.
+	CodeValid
+	// CodeMVCCConflict marks a read-set version mismatch (paper §3).
+	CodeMVCCConflict
+	// CodeEndorsementFailure marks an endorsement policy violation.
+	CodeEndorsementFailure
+	// CodeBadSignature marks an invalid endorsement or creator signature.
+	CodeBadSignature
+	// CodeDuplicate marks a transaction whose ID was already committed.
+	CodeDuplicate
+	// CodeCRDTMerged marks a CRDT transaction committed through the
+	// FabricCRDT merge path instead of MVCC validation.
+	CodeCRDTMerged
+	// CodeInvalidCRDT marks a CRDT transaction whose flagged value could
+	// not be parsed as a JSON object delta.
+	CodeInvalidCRDT
+)
+
+// String implements fmt.Stringer.
+func (c ValidationCode) String() string {
+	switch c {
+	case CodeNotValidated:
+		return "NOT_VALIDATED"
+	case CodeValid:
+		return "VALID"
+	case CodeMVCCConflict:
+		return "MVCC_CONFLICT"
+	case CodeEndorsementFailure:
+		return "ENDORSEMENT_POLICY_FAILURE"
+	case CodeBadSignature:
+		return "BAD_SIGNATURE"
+	case CodeDuplicate:
+		return "DUPLICATE_TXID"
+	case CodeCRDTMerged:
+		return "CRDT_MERGED"
+	case CodeInvalidCRDT:
+		return "INVALID_CRDT_VALUE"
+	default:
+		return fmt.Sprintf("ValidationCode(%d)", int(c))
+	}
+}
+
+// Committed reports whether the code means the transaction's writes reached
+// the world state.
+func (c ValidationCode) Committed() bool {
+	return c == CodeValid || c == CodeCRDTMerged
+}
+
+// Endorsement is one peer's signature over a proposal response.
+type Endorsement struct {
+	// Endorser is the serialized cryptoid.Identity of the endorsing peer.
+	Endorser []byte `json:"endorser"`
+	// Signature signs the transaction's endorsement payload.
+	Signature []byte `json:"signature"`
+}
+
+// Transaction is the envelope a client submits for ordering after
+// collecting endorsements.
+type Transaction struct {
+	ID        string `json:"id"`
+	ChannelID string `json:"channel"`
+	Chaincode string `json:"chaincode"`
+	// Creator is the serialized identity of the submitting client.
+	Creator []byte `json:"creator"`
+	// Args is the invocation payload (function + arguments).
+	Args [][]byte `json:"args,omitempty"`
+	// RWSet is the simulated read/write set agreed by the endorsers.
+	RWSet rwset.ReadWriteSet `json:"rwset"`
+	// Endorsements carries the endorsing peers' signatures.
+	Endorsements []Endorsement `json:"endorsements,omitempty"`
+	// SubmitUnixNano is the client submission time used by the metrics
+	// pipeline (Caliper measures latency from submission to commit).
+	SubmitUnixNano int64 `json:"submitUnixNano,omitempty"`
+}
+
+// EndorsementPayload returns the byte string endorsers sign: everything the
+// committer must be able to pin to the endorsement, i.e. the proposal
+// identity and the simulated read/write set.
+func (tx *Transaction) EndorsementPayload() ([]byte, error) {
+	rw, err := tx.RWSet.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	payload := struct {
+		ID        string `json:"id"`
+		ChannelID string `json:"channel"`
+		Chaincode string `json:"chaincode"`
+		RWSet     string `json:"rwset"`
+	}{tx.ID, tx.ChannelID, tx.Chaincode, string(rw)}
+	return json.Marshal(payload)
+}
+
+// Marshal serializes the transaction.
+func (tx *Transaction) Marshal() ([]byte, error) { return json.Marshal(tx) }
+
+// UnmarshalTransaction parses Marshal output.
+func UnmarshalTransaction(data []byte) (*Transaction, error) {
+	var tx Transaction
+	if err := json.Unmarshal(data, &tx); err != nil {
+		return nil, fmt.Errorf("ledger: decoding transaction: %w", err)
+	}
+	return &tx, nil
+}
+
+// Size returns the serialized size in bytes, the quantity the orderer's
+// byte-based block cutting limits apply to.
+func (tx *Transaction) Size() int {
+	data, err := tx.Marshal()
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}
+
+// BlockHeader chains a block to its predecessor.
+type BlockHeader struct {
+	Number   uint64 `json:"number"`
+	PrevHash []byte `json:"prevHash"`
+	DataHash []byte `json:"dataHash"`
+}
+
+// BlockMetadata carries commit-time annotations.
+type BlockMetadata struct {
+	// ValidationCodes holds one code per transaction, filled by the
+	// committer.
+	ValidationCodes []ValidationCode `json:"validationCodes,omitempty"`
+	// CutReason records why the orderer cut the block (size/bytes/timeout).
+	CutReason string `json:"cutReason,omitempty"`
+}
+
+// Block is an ordered batch of transactions.
+type Block struct {
+	Header       BlockHeader    `json:"header"`
+	Transactions []*Transaction `json:"transactions"`
+	Metadata     BlockMetadata  `json:"metadata"`
+}
+
+// ComputeDataHash hashes the block's transactions canonically.
+func ComputeDataHash(txs []*Transaction) ([]byte, error) {
+	h := sha256.New()
+	for _, tx := range txs {
+		data, err := tx.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		var lenBuf [8]byte
+		n := len(data)
+		for i := 0; i < 8; i++ {
+			lenBuf[i] = byte(n >> (8 * i))
+		}
+		h.Write(lenBuf[:])
+		h.Write(data)
+	}
+	return h.Sum(nil), nil
+}
+
+// HeaderHash returns the hash that the next block's PrevHash must carry.
+func (b *Block) HeaderHash() []byte {
+	data, _ := json.Marshal(b.Header)
+	sum := sha256.Sum256(data)
+	return sum[:]
+}
+
+// Marshal serializes the block.
+func (b *Block) Marshal() ([]byte, error) { return json.Marshal(b) }
+
+// UnmarshalBlock parses Marshal output.
+func UnmarshalBlock(data []byte) (*Block, error) {
+	var b Block
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("ledger: decoding block: %w", err)
+	}
+	return &b, nil
+}
+
+// Chain errors.
+var (
+	ErrBadPrevHash   = errors.New("ledger: block prev-hash mismatch")
+	ErrBadDataHash   = errors.New("ledger: block data-hash mismatch")
+	ErrBadNumber     = errors.New("ledger: block number out of sequence")
+	ErrBlockNotFound = errors.New("ledger: block not found")
+)
+
+// Chain is an append-only block store with hash-chain verification on
+// append. It is safe for concurrent use.
+type Chain struct {
+	mu     sync.RWMutex
+	blocks []*Block
+}
+
+// NewChain returns a chain containing only the genesis block for the given
+// channel.
+func NewChain(channelID string) *Chain {
+	genesis := &Block{
+		Header: BlockHeader{Number: 0, PrevHash: nil},
+		Transactions: []*Transaction{{
+			ID:        "genesis-" + channelID,
+			ChannelID: channelID,
+			Chaincode: "_config",
+		}},
+		Metadata: BlockMetadata{ValidationCodes: []ValidationCode{CodeValid}},
+	}
+	genesis.Header.DataHash, _ = ComputeDataHash(genesis.Transactions)
+	return &Chain{blocks: []*Block{genesis}}
+}
+
+// Height returns the number of blocks (genesis included).
+func (c *Chain) Height() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return uint64(len(c.blocks))
+}
+
+// Last returns the most recent block.
+func (c *Chain) Last() *Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blocks[len(c.blocks)-1]
+}
+
+// Get returns block number n.
+func (c *Chain) Get(n uint64) (*Block, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if n >= uint64(len(c.blocks)) {
+		return nil, fmt.Errorf("%w: %d (height %d)", ErrBlockNotFound, n, len(c.blocks))
+	}
+	return c.blocks[n], nil
+}
+
+// Append verifies the hash chain and appends the block.
+func (c *Chain) Append(b *Block) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	last := c.blocks[len(c.blocks)-1]
+	if b.Header.Number != last.Header.Number+1 {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadNumber, b.Header.Number, last.Header.Number+1)
+	}
+	if !hashEqual(b.Header.PrevHash, last.HeaderHash()) {
+		return fmt.Errorf("%w: block %d", ErrBadPrevHash, b.Header.Number)
+	}
+	dataHash, err := ComputeDataHash(b.Transactions)
+	if err != nil {
+		return err
+	}
+	if !hashEqual(b.Header.DataHash, dataHash) {
+		return fmt.Errorf("%w: block %d", ErrBadDataHash, b.Header.Number)
+	}
+	c.blocks = append(c.blocks, b)
+	return nil
+}
+
+// Verify re-checks the whole hash chain, returning the first inconsistency.
+func (c *Chain) Verify() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i := 1; i < len(c.blocks); i++ {
+		b, prev := c.blocks[i], c.blocks[i-1]
+		if b.Header.Number != prev.Header.Number+1 {
+			return fmt.Errorf("%w: index %d", ErrBadNumber, i)
+		}
+		if !hashEqual(b.Header.PrevHash, prev.HeaderHash()) {
+			return fmt.Errorf("%w: block %d", ErrBadPrevHash, b.Header.Number)
+		}
+		dataHash, err := ComputeDataHash(b.Transactions)
+		if err != nil {
+			return err
+		}
+		if !hashEqual(b.Header.DataHash, dataHash) {
+			return fmt.Errorf("%w: block %d", ErrBadDataHash, b.Header.Number)
+		}
+	}
+	return nil
+}
+
+// Blocks returns a snapshot of all blocks in order (genesis first); the
+// slice is fresh, the block pointers are shared.
+func (c *Chain) Blocks() []*Block {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Block, len(c.blocks))
+	copy(out, c.blocks)
+	return out
+}
+
+func hashEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

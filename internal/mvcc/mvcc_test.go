@@ -1,0 +1,226 @@
+package mvcc
+
+import (
+	"testing"
+
+	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/rwset"
+	"fabriccrdt/internal/statedb"
+)
+
+// seedDB populates the world state with the paper's §3 scenario:
+// three keys committed in earlier blocks.
+func seedDB(t *testing.T) *statedb.DB {
+	t.Helper()
+	db := statedb.New()
+	b := statedb.NewUpdateBatch()
+	b.Put("K1", []byte("VL1"), rwset.Version{BlockNum: 1, TxNum: 0})
+	b.Put("K2", []byte("VL2"), rwset.Version{BlockNum: 2, TxNum: 0})
+	b.Put("K3", []byte("VL3"), rwset.Version{BlockNum: 3, TxNum: 0})
+	db.Apply(b, rwset.Version{BlockNum: 3})
+	return db
+}
+
+func tx(reads []rwset.Read, writes []rwset.Write) *ledger.Transaction {
+	return &ledger.Transaction{RWSet: rwset.ReadWriteSet{Reads: reads, Writes: writes}}
+}
+
+// TestPaperSection3Example reproduces the worked MVCC example of paper §3:
+// five transactions in one block; T1, T4 and T5 commit, T2 and T3 fail with
+// an MVCC conflict because T1's write bumps K2's version.
+func TestPaperSection3Example(t *testing.T) {
+	db := seedDB(t)
+	v := New(db)
+	vn1 := rwset.Version{BlockNum: 1, TxNum: 0}
+	vn2 := rwset.Version{BlockNum: 2, TxNum: 0}
+	vn3 := rwset.Version{BlockNum: 3, TxNum: 0}
+	txs := []*ledger.Transaction{
+		// T1: reads K2, writes K2.
+		tx([]rwset.Read{{Key: "K2", Version: vn2}}, []rwset.Write{{Key: "K2", Value: []byte("VL1")}}),
+		// T2: reads K1 and K2, writes K3.
+		tx([]rwset.Read{{Key: "K1", Version: vn1}, {Key: "K2", Version: vn2}}, []rwset.Write{{Key: "K3", Value: []byte("VL3")}}),
+		// T3: reads K2, writes K3.
+		tx([]rwset.Read{{Key: "K2", Version: vn2}}, []rwset.Write{{Key: "K3", Value: []byte("VL1")}}),
+		// T4: reads K3, writes K2.
+		tx([]rwset.Read{{Key: "K3", Version: vn3}}, []rwset.Write{{Key: "K2", Value: []byte("VL1")}}),
+		// T5: empty read set, writes K3 (a blind write never conflicts).
+		tx(nil, []rwset.Write{{Key: "K3", Value: []byte("VL2")}}),
+	}
+	res := v.ValidateBlock(6, txs, nil)
+	want := []ledger.ValidationCode{
+		ledger.CodeValid,        // T1
+		ledger.CodeMVCCConflict, // T2
+		ledger.CodeMVCCConflict, // T3
+		ledger.CodeValid,        // T4
+		ledger.CodeValid,        // T5
+	}
+	for i, code := range res.Codes {
+		if code != want[i] {
+			t.Errorf("T%d = %v, want %v", i+1, code, want[i])
+		}
+	}
+	// Commit and check final state: T4's K2 write and T5's K3 write win.
+	batch := BuildCommitBatch(6, txs, res.Codes)
+	db.Apply(batch, rwset.Version{BlockNum: 6})
+	k2, _ := db.Get("K2")
+	if k2.Version != (rwset.Version{BlockNum: 6, TxNum: 3}) {
+		t.Errorf("K2 version = %v, want 6:3 (T4)", k2.Version)
+	}
+	k3, _ := db.Get("K3")
+	if string(k3.Value) != "VL2" || k3.Version != (rwset.Version{BlockNum: 6, TxNum: 4}) {
+		t.Errorf("K3 = %q @ %v, want VL2 @ 6:4 (T5)", k3.Value, k3.Version)
+	}
+}
+
+func TestStaleReadAcrossBlocksFails(t *testing.T) {
+	db := seedDB(t)
+	v := New(db)
+	stale := rwset.Version{BlockNum: 1, TxNum: 5} // K2 is at 2:0
+	res := v.ValidateBlock(6, []*ledger.Transaction{
+		tx([]rwset.Read{{Key: "K2", Version: stale}}, []rwset.Write{{Key: "K2", Value: []byte("x")}}),
+	}, nil)
+	if res.Codes[0] != ledger.CodeMVCCConflict {
+		t.Fatalf("code = %v, want MVCC conflict", res.Codes[0])
+	}
+}
+
+func TestReadOfMissingKeyWithZeroVersionIsValid(t *testing.T) {
+	db := statedb.New()
+	v := New(db)
+	res := v.ValidateBlock(1, []*ledger.Transaction{
+		tx([]rwset.Read{{Key: "new", Version: rwset.Version{}}}, []rwset.Write{{Key: "new", Value: []byte("x")}}),
+	}, nil)
+	if res.Codes[0] != ledger.CodeValid {
+		t.Fatalf("code = %v, want valid (absent key read at zero version)", res.Codes[0])
+	}
+}
+
+func TestIntraBlockDeleteInvalidatesReaders(t *testing.T) {
+	db := seedDB(t)
+	v := New(db)
+	vn2 := rwset.Version{BlockNum: 2, TxNum: 0}
+	res := v.ValidateBlock(6, []*ledger.Transaction{
+		tx([]rwset.Read{{Key: "K2", Version: vn2}}, []rwset.Write{{Key: "K2", IsDelete: true}}),
+		tx([]rwset.Read{{Key: "K2", Version: vn2}}, []rwset.Write{{Key: "K1", Value: []byte("y")}}),
+	}, nil)
+	if res.Codes[0] != ledger.CodeValid {
+		t.Fatalf("deleter = %v, want valid", res.Codes[0])
+	}
+	if res.Codes[1] != ledger.CodeMVCCConflict {
+		t.Fatalf("reader after delete = %v, want conflict", res.Codes[1])
+	}
+}
+
+func TestPreDecidedCodesAreSkipped(t *testing.T) {
+	db := seedDB(t)
+	v := New(db)
+	vn2 := rwset.Version{BlockNum: 2, TxNum: 0}
+	txs := []*ledger.Transaction{
+		// Endorsement-failed transaction writing K2: must NOT shadow state.
+		tx([]rwset.Read{{Key: "K2", Version: vn2}}, []rwset.Write{{Key: "K2", Value: []byte("evil")}}),
+		// Honest transaction reading the same version: still valid because
+		// the failed transaction's write never counted.
+		tx([]rwset.Read{{Key: "K2", Version: vn2}}, []rwset.Write{{Key: "K1", Value: []byte("y")}}),
+	}
+	codes := []ledger.ValidationCode{ledger.CodeEndorsementFailure, ledger.CodeNotValidated}
+	res := v.ValidateBlock(6, txs, codes)
+	if res.Codes[0] != ledger.CodeEndorsementFailure {
+		t.Fatalf("pre-decided code overwritten: %v", res.Codes[0])
+	}
+	if res.Codes[1] != ledger.CodeValid {
+		t.Fatalf("honest tx = %v, want valid", res.Codes[1])
+	}
+}
+
+func TestCRDTWritesDoNotShadowMVCC(t *testing.T) {
+	db := seedDB(t)
+	v := New(db)
+	vn2 := rwset.Version{BlockNum: 2, TxNum: 0}
+	txs := []*ledger.Transaction{
+		// A valid transaction with a CRDT write on K2.
+		tx([]rwset.Read{{Key: "K2", Version: vn2}}, []rwset.Write{{Key: "K2", Value: []byte("crdt"), IsCRDT: true}}),
+		// A second reader of K2 at the same version: the CRDT write must
+		// not have bumped the version.
+		tx([]rwset.Read{{Key: "K2", Version: vn2}}, []rwset.Write{{Key: "K1", Value: []byte("y")}}),
+	}
+	res := v.ValidateBlock(6, txs, nil)
+	if res.Codes[0] != ledger.CodeValid || res.Codes[1] != ledger.CodeValid {
+		t.Fatalf("codes = %v, want both valid", res.Codes)
+	}
+}
+
+func TestBuildCommitBatchSkipsFailedTx(t *testing.T) {
+	txs := []*ledger.Transaction{
+		tx(nil, []rwset.Write{{Key: "a", Value: []byte("1")}}),
+		tx(nil, []rwset.Write{{Key: "b", Value: []byte("2")}}),
+	}
+	codes := []ledger.ValidationCode{ledger.CodeMVCCConflict, ledger.CodeValid}
+	batch := BuildCommitBatch(9, txs, codes)
+	if batch.Len() != 1 {
+		t.Fatalf("batch len = %d, want 1", batch.Len())
+	}
+	db := statedb.New()
+	db.Apply(batch, rwset.Version{BlockNum: 9})
+	if _, ok := db.Get("a"); ok {
+		t.Fatal("failed tx write committed")
+	}
+	if vv, ok := db.Get("b"); !ok || vv.Version != (rwset.Version{BlockNum: 9, TxNum: 1}) {
+		t.Fatalf("b = %+v, %v", vv, ok)
+	}
+}
+
+func TestBuildCommitBatchAppliesDeletes(t *testing.T) {
+	db := seedDB(t)
+	txs := []*ledger.Transaction{
+		tx(nil, []rwset.Write{{Key: "K1", IsDelete: true}}),
+	}
+	batch := BuildCommitBatch(7, txs, []ledger.ValidationCode{ledger.CodeValid})
+	db.Apply(batch, rwset.Version{BlockNum: 7})
+	if _, ok := db.Get("K1"); ok {
+		t.Fatal("K1 not deleted")
+	}
+}
+
+// TestAllConflictingOnlyFirstSucceeds models the paper's worst-case
+// workload: every transaction reads and writes the same key at the same
+// snapshot version; only the first in the block commits.
+func TestAllConflictingOnlyFirstSucceeds(t *testing.T) {
+	db := seedDB(t)
+	v := New(db)
+	vn2 := rwset.Version{BlockNum: 2, TxNum: 0}
+	const n = 100
+	txs := make([]*ledger.Transaction, n)
+	for i := range txs {
+		txs[i] = tx([]rwset.Read{{Key: "K2", Version: vn2}}, []rwset.Write{{Key: "K2", Value: []byte("v")}})
+	}
+	res := v.ValidateBlock(6, txs, nil)
+	valid := 0
+	for _, c := range res.Codes {
+		if c == ledger.CodeValid {
+			valid++
+		}
+	}
+	if valid != 1 || res.Codes[0] != ledger.CodeValid {
+		t.Fatalf("valid count = %d (first=%v), want exactly the first", valid, res.Codes[0])
+	}
+}
+
+func BenchmarkValidateBlockAllConflicting(b *testing.B) {
+	db := statedb.New()
+	batch := statedb.NewUpdateBatch()
+	batch.Put("K", []byte("v"), rwset.Version{BlockNum: 1})
+	db.Apply(batch, rwset.Version{BlockNum: 1})
+	v := New(db)
+	txs := make([]*ledger.Transaction, 400)
+	for i := range txs {
+		txs[i] = tx(
+			[]rwset.Read{{Key: "K", Version: rwset.Version{BlockNum: 1}}},
+			[]rwset.Write{{Key: "K", Value: []byte("v2")}},
+		)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.ValidateBlock(2, txs, make([]ledger.ValidationCode, len(txs)))
+	}
+}

@@ -1,0 +1,321 @@
+// Package orderer implements the ordering service: a total-order broadcast
+// (standing in for the paper's Kafka/ZooKeeper deployment) plus Fabric's
+// block cutter, which batches the ordered transaction stream into blocks by
+// message count, byte size and timeout (paper §3: "the ordering service
+// creates a block based on several criteria, including the maximum number
+// of transactions, the maximum total size … and a timeout period").
+package orderer
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"fabriccrdt/internal/ledger"
+)
+
+// Config mirrors Fabric's BatchSize/BatchTimeout orderer configuration.
+type Config struct {
+	// MaxMessageCount cuts a block when this many transactions are
+	// pending (the paper's block-size sweep varies 25…1000).
+	MaxMessageCount int
+	// AbsoluteMaxBytes is the hard byte ceiling per block; a transaction
+	// larger than it is rejected.
+	AbsoluteMaxBytes int
+	// PreferredMaxBytes cuts a block early when pending bytes reach it.
+	PreferredMaxBytes int
+	// BatchTimeout cuts whatever is pending after this long (paper: 2s).
+	BatchTimeout time.Duration
+}
+
+// DefaultConfig matches the paper's fixed orderer settings (Table 1):
+// 128 MB preferred/absolute bytes, 2 s timeout.
+func DefaultConfig(maxMessages int) Config {
+	return Config{
+		MaxMessageCount:   maxMessages,
+		AbsoluteMaxBytes:  128 * 1024 * 1024,
+		PreferredMaxBytes: 128 * 1024 * 1024,
+		BatchTimeout:      2 * time.Second,
+	}
+}
+
+// normalized fills zero fields with safe defaults.
+func (c Config) normalized() Config {
+	if c.MaxMessageCount <= 0 {
+		c.MaxMessageCount = 500
+	}
+	if c.AbsoluteMaxBytes <= 0 {
+		c.AbsoluteMaxBytes = 128 * 1024 * 1024
+	}
+	if c.PreferredMaxBytes <= 0 {
+		c.PreferredMaxBytes = c.AbsoluteMaxBytes
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// CutReason records why a batch was cut.
+type CutReason string
+
+// Batch cut reasons.
+const (
+	CutMaxMessages    CutReason = "max-message-count"
+	CutPreferredBytes CutReason = "preferred-max-bytes"
+	CutOversizedTx    CutReason = "oversized-transaction"
+	CutTimeout        CutReason = "batch-timeout"
+	CutFlush          CutReason = "flush"
+)
+
+// Batch is a cut group of transactions with its cut reason.
+type Batch struct {
+	Transactions []*ledger.Transaction
+	Reason       CutReason
+}
+
+// ErrOversized reports a transaction exceeding AbsoluteMaxBytes.
+var ErrOversized = errors.New("orderer: transaction exceeds AbsoluteMaxBytes")
+
+// Cutter is the pure block-cutting state machine, shared by the live
+// ordering service and the discrete-event simulation. It is not safe for
+// concurrent use; callers serialize (that serialization IS the total order).
+type Cutter struct {
+	cfg          Config
+	pending      []*ledger.Transaction
+	pendingBytes int
+}
+
+// NewCutter returns a cutter with the given configuration.
+func NewCutter(cfg Config) *Cutter {
+	return &Cutter{cfg: cfg.normalized()}
+}
+
+// Pending returns the number of queued transactions.
+func (c *Cutter) Pending() int { return len(c.pending) }
+
+// Ordered accepts the next transaction in total order and returns the
+// batches it completes (zero, one, or — when an oversized-but-legal
+// transaction forces the pending batch out first — two).
+func (c *Cutter) Ordered(tx *ledger.Transaction) ([]Batch, error) {
+	size := tx.Size()
+	if size > c.cfg.AbsoluteMaxBytes {
+		return nil, ErrOversized
+	}
+	var batches []Batch
+	// A transaction that alone exceeds PreferredMaxBytes is cut into its
+	// own batch, flushing anything pending first (Fabric semantics).
+	if size > c.cfg.PreferredMaxBytes {
+		if len(c.pending) > 0 {
+			batches = append(batches, c.cut(CutPreferredBytes))
+		}
+		c.pending = append(c.pending, tx)
+		c.pendingBytes += size
+		batches = append(batches, c.cut(CutOversizedTx))
+		return batches, nil
+	}
+	if c.pendingBytes+size > c.cfg.PreferredMaxBytes && len(c.pending) > 0 {
+		batches = append(batches, c.cut(CutPreferredBytes))
+	}
+	c.pending = append(c.pending, tx)
+	c.pendingBytes += size
+	if len(c.pending) >= c.cfg.MaxMessageCount {
+		batches = append(batches, c.cut(CutMaxMessages))
+	}
+	return batches, nil
+}
+
+// Cut flushes the pending transactions (timeout or shutdown path); it
+// returns a zero-length batch when nothing is pending.
+func (c *Cutter) Cut(reason CutReason) Batch {
+	if len(c.pending) == 0 {
+		return Batch{Reason: reason}
+	}
+	return c.cut(reason)
+}
+
+func (c *Cutter) cut(reason CutReason) Batch {
+	b := Batch{Transactions: c.pending, Reason: reason}
+	c.pending = nil
+	c.pendingBytes = 0
+	return b
+}
+
+// Assembler turns cut batches into hash-chained blocks. It must observe
+// batches in total order.
+type Assembler struct {
+	nextNumber uint64
+	prevHash   []byte
+}
+
+// NewAssembler returns an assembler chaining onto the given block (usually
+// the channel's genesis block).
+func NewAssembler(after *ledger.Block) *Assembler {
+	return &Assembler{
+		nextNumber: after.Header.Number + 1,
+		prevHash:   after.HeaderHash(),
+	}
+}
+
+// Assemble builds the next block from a batch.
+func (a *Assembler) Assemble(batch Batch) (*ledger.Block, error) {
+	dataHash, err := ledger.ComputeDataHash(batch.Transactions)
+	if err != nil {
+		return nil, err
+	}
+	b := &ledger.Block{
+		Header: ledger.BlockHeader{
+			Number:   a.nextNumber,
+			PrevHash: a.prevHash,
+			DataHash: dataHash,
+		},
+		Transactions: batch.Transactions,
+		Metadata: ledger.BlockMetadata{
+			ValidationCodes: make([]ledger.ValidationCode, len(batch.Transactions)),
+			CutReason:       string(batch.Reason),
+		},
+	}
+	a.nextNumber++
+	a.prevHash = b.HeaderHash()
+	return b, nil
+}
+
+// Service is the live (goroutine-driven) ordering service: Broadcast
+// serializes submissions into a total order, the cutter batches them, and
+// completed blocks fan out to every subscribed deliver channel.
+type Service struct {
+	cfg Config
+
+	mu        sync.Mutex
+	cutter    *Cutter
+	assembler *Assembler
+	subs      []chan *ledger.Block
+	timer     *time.Timer
+	stopped   bool
+
+	wg sync.WaitGroup
+}
+
+// NewService returns a started ordering service chaining blocks after
+// genesis.
+func NewService(cfg Config, genesis *ledger.Block) *Service {
+	return &Service{
+		cfg:       cfg.normalized(),
+		cutter:    NewCutter(cfg),
+		assembler: NewAssembler(genesis),
+	}
+}
+
+// ErrStopped reports a broadcast to a stopped service.
+var ErrStopped = errors.New("orderer: service stopped")
+
+// Subscribe registers a deliver channel; all blocks cut after the call are
+// sent to it. The channel is buffered: a slow peer applies backpressure to
+// the ordering service just like a saturated deliver connection would.
+func (s *Service) Subscribe() <-chan *ledger.Block {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan *ledger.Block, 64)
+	s.subs = append(s.subs, ch)
+	return ch
+}
+
+// Broadcast submits a transaction for ordering. The mutex acquisition order
+// is the total order (the Kafka stand-in).
+func (s *Service) Broadcast(tx *ledger.Transaction) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return ErrStopped
+	}
+	batches, err := s.cutter.Ordered(tx)
+	if err != nil {
+		return err
+	}
+	for _, b := range batches {
+		if err := s.emit(b); err != nil {
+			return err
+		}
+	}
+	s.armTimerLocked()
+	return nil
+}
+
+// armTimerLocked starts the batch timeout when transactions are pending and
+// no timer runs, and clears it when the cutter is empty.
+func (s *Service) armTimerLocked() {
+	if s.cutter.Pending() == 0 {
+		if s.timer != nil {
+			s.timer.Stop()
+			s.timer = nil
+		}
+		return
+	}
+	if s.timer != nil {
+		return
+	}
+	s.timer = time.AfterFunc(s.cfg.BatchTimeout, s.onTimeout)
+}
+
+func (s *Service) onTimeout() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.timer = nil
+	if s.stopped || s.cutter.Pending() == 0 {
+		return
+	}
+	batch := s.cutter.Cut(CutTimeout)
+	_ = s.emit(batch)
+	s.armTimerLocked()
+}
+
+// emit assembles and fans a batch out to subscribers (mu held).
+func (s *Service) emit(batch Batch) error {
+	if len(batch.Transactions) == 0 {
+		return nil
+	}
+	block, err := s.assembler.Assemble(batch)
+	if err != nil {
+		return err
+	}
+	for _, ch := range s.subs {
+		ch <- block
+	}
+	return nil
+}
+
+// Flush cuts and delivers any pending transactions immediately.
+func (s *Service) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped || s.cutter.Pending() == 0 {
+		return
+	}
+	_ = s.emit(s.cutter.Cut(CutFlush))
+	s.armTimerLocked()
+}
+
+// Stop flushes pending transactions, closes all deliver channels and
+// rejects further broadcasts.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	if s.cutter.Pending() > 0 {
+		_ = s.emit(s.cutter.Cut(CutFlush))
+	}
+	s.stopped = true
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	subs := s.subs
+	s.subs = nil
+	s.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,251 @@
+package orderer
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fabriccrdt/internal/ledger"
+)
+
+func smallTx(id string) *ledger.Transaction {
+	return &ledger.Transaction{ID: id, ChannelID: "ch1", Chaincode: "cc"}
+}
+
+func TestCutterCutsAtMaxMessages(t *testing.T) {
+	c := NewCutter(Config{MaxMessageCount: 3, BatchTimeout: time.Hour})
+	var cut []Batch
+	for i := 0; i < 7; i++ {
+		batches, err := c.Ordered(smallTx("t" + string(rune('0'+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut = append(cut, batches...)
+	}
+	if len(cut) != 2 {
+		t.Fatalf("cut %d batches, want 2", len(cut))
+	}
+	for _, b := range cut {
+		if len(b.Transactions) != 3 || b.Reason != CutMaxMessages {
+			t.Fatalf("batch = %d txs, reason %s", len(b.Transactions), b.Reason)
+		}
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", c.Pending())
+	}
+}
+
+func TestCutterTimeoutCut(t *testing.T) {
+	c := NewCutter(Config{MaxMessageCount: 100})
+	if _, err := c.Ordered(smallTx("a")); err != nil {
+		t.Fatal(err)
+	}
+	b := c.Cut(CutTimeout)
+	if len(b.Transactions) != 1 || b.Reason != CutTimeout {
+		t.Fatalf("batch = %+v", b)
+	}
+	if c.Pending() != 0 {
+		t.Fatal("pending not cleared")
+	}
+	empty := c.Cut(CutTimeout)
+	if len(empty.Transactions) != 0 {
+		t.Fatal("cut of empty cutter returned transactions")
+	}
+}
+
+func TestCutterPreferredBytes(t *testing.T) {
+	// Transactions of ~N bytes; preferred limit forces cuts before count.
+	tx := smallTx("x")
+	size := tx.Size()
+	c := NewCutter(Config{MaxMessageCount: 1000, PreferredMaxBytes: size*2 + 1, AbsoluteMaxBytes: size * 100})
+	var batches []Batch
+	for i := 0; i < 5; i++ {
+		got, err := c.Ordered(smallTx("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches = append(batches, got...)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("batches = %d, want 2 (cut every 2 txs by bytes)", len(batches))
+	}
+	for _, b := range batches {
+		if b.Reason != CutPreferredBytes {
+			t.Fatalf("reason = %s", b.Reason)
+		}
+	}
+}
+
+func TestCutterOversizedTxGetsOwnBlock(t *testing.T) {
+	small := smallTx("s")
+	big := smallTx("big")
+	big.Args = [][]byte{make([]byte, 4096)}
+	c := NewCutter(Config{MaxMessageCount: 1000, PreferredMaxBytes: 1024, AbsoluteMaxBytes: 1 << 20})
+	if _, err := c.Ordered(small); err != nil {
+		t.Fatal(err)
+	}
+	batches, err := c.Ordered(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("batches = %d, want 2 (flush + own block)", len(batches))
+	}
+	if batches[0].Reason != CutPreferredBytes || len(batches[0].Transactions) != 1 {
+		t.Fatalf("first batch = %+v", batches[0])
+	}
+	if batches[1].Reason != CutOversizedTx || batches[1].Transactions[0].ID != "big" {
+		t.Fatalf("second batch = %+v", batches[1])
+	}
+}
+
+func TestCutterRejectsAbsoluteOversize(t *testing.T) {
+	big := smallTx("big")
+	big.Args = [][]byte{make([]byte, 4096)}
+	c := NewCutter(Config{MaxMessageCount: 10, AbsoluteMaxBytes: 100, PreferredMaxBytes: 50})
+	if _, err := c.Ordered(big); err == nil {
+		t.Fatal("oversized tx accepted")
+	}
+}
+
+// Property: the cutter never loses, duplicates or reorders transactions and
+// never exceeds MaxMessageCount.
+func TestCutterConservationProperty(t *testing.T) {
+	f := func(nTx uint8, maxCount uint8) bool {
+		n := int(nTx)%200 + 1
+		mc := int(maxCount)%50 + 1
+		c := NewCutter(Config{MaxMessageCount: mc, BatchTimeout: time.Hour})
+		var out []*ledger.Transaction
+		for i := 0; i < n; i++ {
+			batches, err := c.Ordered(smallTx(itoa(i)))
+			if err != nil {
+				return false
+			}
+			for _, b := range batches {
+				if len(b.Transactions) > mc {
+					return false
+				}
+				out = append(out, b.Transactions...)
+			}
+		}
+		final := c.Cut(CutFlush)
+		out = append(out, final.Transactions...)
+		if len(out) != n {
+			return false
+		}
+		for i, tx := range out {
+			if tx.ID != itoa(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestAssemblerChainsBlocks(t *testing.T) {
+	chain := ledger.NewChain("ch1")
+	a := NewAssembler(chain.Last())
+	for i := 0; i < 3; i++ {
+		block, err := a.Assemble(Batch{
+			Transactions: []*ledger.Transaction{smallTx("t" + itoa(i))},
+			Reason:       CutMaxMessages,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := chain.Append(block); err != nil {
+			t.Fatalf("append block %d: %v", i, err)
+		}
+		if block.Metadata.CutReason != string(CutMaxMessages) {
+			t.Fatalf("cut reason = %q", block.Metadata.CutReason)
+		}
+	}
+	if err := chain.Verify(); err != nil {
+		t.Fatalf("chain verify: %v", err)
+	}
+}
+
+func TestServiceCutsBySize(t *testing.T) {
+	genesis := ledger.NewChain("ch1").Last()
+	s := NewService(Config{MaxMessageCount: 2, BatchTimeout: time.Hour}, genesis)
+	deliver := s.Subscribe()
+	for i := 0; i < 4; i++ {
+		if err := s.Broadcast(smallTx("t" + itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b1 := <-deliver
+	b2 := <-deliver
+	if len(b1.Transactions) != 2 || len(b2.Transactions) != 2 {
+		t.Fatalf("block sizes %d, %d", len(b1.Transactions), len(b2.Transactions))
+	}
+	if b1.Header.Number != 1 || b2.Header.Number != 2 {
+		t.Fatalf("block numbers %d, %d", b1.Header.Number, b2.Header.Number)
+	}
+	s.Stop()
+}
+
+func TestServiceTimeoutCut(t *testing.T) {
+	genesis := ledger.NewChain("ch1").Last()
+	s := NewService(Config{MaxMessageCount: 100, BatchTimeout: 30 * time.Millisecond}, genesis)
+	deliver := s.Subscribe()
+	if err := s.Broadcast(smallTx("only")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-deliver:
+		if len(b.Transactions) != 1 || b.Metadata.CutReason != string(CutTimeout) {
+			t.Fatalf("block = %d txs, reason %q", len(b.Transactions), b.Metadata.CutReason)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout block never delivered")
+	}
+	s.Stop()
+}
+
+func TestServiceStopFlushesAndCloses(t *testing.T) {
+	genesis := ledger.NewChain("ch1").Last()
+	s := NewService(Config{MaxMessageCount: 100, BatchTimeout: time.Hour}, genesis)
+	deliver := s.Subscribe()
+	if err := s.Broadcast(smallTx("pending")); err != nil {
+		t.Fatal(err)
+	}
+	go s.Stop()
+	b, ok := <-deliver
+	if !ok || len(b.Transactions) != 1 {
+		t.Fatalf("flush block = %+v, ok=%v", b, ok)
+	}
+	if _, ok := <-deliver; ok {
+		t.Fatal("deliver channel not closed after stop")
+	}
+	if err := s.Broadcast(smallTx("late")); err == nil {
+		t.Fatal("broadcast after stop accepted")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(25)
+	if cfg.MaxMessageCount != 25 || cfg.BatchTimeout != 2*time.Second {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.AbsoluteMaxBytes != 128*1024*1024 {
+		t.Fatalf("abs bytes = %d", cfg.AbsoluteMaxBytes)
+	}
+}

@@ -1,0 +1,447 @@
+// Package peer implements a Fabric peer: the endorser that simulates
+// chaincode against the local world state during the execution phase, and
+// the committer that validates delivered blocks and applies them to the
+// ledger (paper §2.1). With CRDT support enabled the committer routes
+// CRDT-flagged transactions through the FabricCRDT merge engine instead of
+// MVCC validation (paper §5.1, Figure 2).
+package peer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"fabriccrdt/internal/chaincode"
+	"fabriccrdt/internal/core"
+	"fabriccrdt/internal/cryptoid"
+	"fabriccrdt/internal/endorse"
+	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/mvcc"
+	"fabriccrdt/internal/rwset"
+	"fabriccrdt/internal/statedb"
+)
+
+// Proposal is a client's request to simulate a chaincode invocation.
+type Proposal struct {
+	TxID      string
+	ChannelID string
+	Chaincode string
+	Args      [][]byte
+	// Creator is the serialized identity of the submitting client.
+	Creator []byte
+}
+
+// ProposalResponse is one endorser's signed simulation result.
+type ProposalResponse struct {
+	// Endorser is the serialized identity of the endorsing peer.
+	Endorser []byte
+	// RWSet is the simulated read/write set.
+	RWSet rwset.ReadWriteSet
+	// Signature signs the would-be transaction's endorsement payload.
+	Signature []byte
+}
+
+// CommitEvent notifies a listener of one transaction's commit outcome.
+type CommitEvent struct {
+	TxID     string
+	BlockNum uint64
+	Code     ledger.ValidationCode
+}
+
+// CommitResult summarizes one committed block.
+type CommitResult struct {
+	BlockNum   uint64
+	Codes      []ledger.ValidationCode
+	MergedKeys []string
+	// CommittedTx counts transactions whose writes reached the state.
+	CommittedTx int
+}
+
+// Config configures a peer.
+type Config struct {
+	Name      string
+	MSPID     string
+	ChannelID string
+	// EnableCRDT turns the peer into a FabricCRDT peer; disabled it
+	// behaves exactly like stock Fabric (CRDT-flagged writes validate and
+	// commit as ordinary writes).
+	EnableCRDT bool
+	// EngineOptions tunes the merge engine (ablation switches).
+	EngineOptions core.Options
+}
+
+// Peer errors.
+var (
+	ErrUnknownChaincode = errors.New("peer: chaincode not installed")
+	ErrChaincodeFailed  = errors.New("peer: chaincode invocation failed")
+	ErrBadCreator       = errors.New("peer: creator identity rejected")
+)
+
+// installedCC pairs a chaincode with its endorsement policy.
+type installedCC struct {
+	cc     chaincode.Chaincode
+	policy *endorse.Policy
+}
+
+// Peer is one peer node. Endorsement (Endorse) may run concurrently with
+// commits; commits are serialized by the committer mutex, mirroring
+// Fabric's single commit pipeline per channel.
+type Peer struct {
+	cfg    Config
+	signer *cryptoid.Signer
+	msp    *cryptoid.MSP
+
+	db        *statedb.DB
+	chain     *ledger.Chain
+	validator *mvcc.Validator
+	engine    *core.Engine
+
+	ccMu       sync.RWMutex
+	chaincodes map[string]installedCC
+
+	commitMu     sync.Mutex
+	committedIDs map[string]struct{}
+
+	eventMu   sync.RWMutex
+	listeners []chan CommitEvent
+}
+
+// New creates a peer with its own world state and chain, signing with the
+// given identity and trusting the given MSP roots.
+func New(cfg Config, signer *cryptoid.Signer, msp *cryptoid.MSP) *Peer {
+	db := statedb.New()
+	return &Peer{
+		cfg:          cfg,
+		signer:       signer,
+		msp:          msp,
+		db:           db,
+		chain:        ledger.NewChain(cfg.ChannelID),
+		validator:    mvcc.New(db),
+		engine:       core.NewEngine(db, cfg.EngineOptions),
+		chaincodes:   make(map[string]installedCC),
+		committedIDs: make(map[string]struct{}),
+	}
+}
+
+// Name returns the peer's name.
+func (p *Peer) Name() string { return p.cfg.Name }
+
+// MSPID returns the peer's organization.
+func (p *Peer) MSPID() string { return p.cfg.MSPID }
+
+// CRDTEnabled reports whether the FabricCRDT merge path is active.
+func (p *Peer) CRDTEnabled() bool { return p.cfg.EnableCRDT }
+
+// DB exposes the peer's world state (read-side: examples, experiments).
+func (p *Peer) DB() *statedb.DB { return p.db }
+
+// Chain exposes the peer's blockchain.
+func (p *Peer) Chain() *ledger.Chain { return p.chain }
+
+// Genesis returns the channel genesis block the peer chains from.
+func (p *Peer) Genesis() *ledger.Block {
+	g, err := p.chain.Get(0)
+	if err != nil {
+		panic("peer: chain without genesis: " + err.Error()) // unreachable
+	}
+	return g
+}
+
+// InstallChaincode installs a chaincode with its endorsement policy.
+func (p *Peer) InstallChaincode(name string, cc chaincode.Chaincode, policy *endorse.Policy) {
+	p.ccMu.Lock()
+	defer p.ccMu.Unlock()
+	p.chaincodes[name] = installedCC{cc: cc, policy: policy}
+}
+
+// lookupChaincode returns the installed chaincode entry.
+func (p *Peer) lookupChaincode(name string) (installedCC, error) {
+	p.ccMu.RLock()
+	defer p.ccMu.RUnlock()
+	entry, ok := p.chaincodes[name]
+	if !ok {
+		return installedCC{}, fmt.Errorf("%w: %q on peer %s", ErrUnknownChaincode, name, p.cfg.Name)
+	}
+	return entry, nil
+}
+
+// Endorse simulates the proposal against the local committed state and
+// returns the signed read/write set (execution + endorsement phase). The
+// world state is not modified (paper: "peers simulate the transaction
+// proposal").
+func (p *Peer) Endorse(prop Proposal) (ProposalResponse, error) {
+	creator, err := cryptoid.UnmarshalIdentity(prop.Creator)
+	if err != nil {
+		return ProposalResponse{}, fmt.Errorf("%w: %v", ErrBadCreator, err)
+	}
+	if err := p.msp.VerifyIdentity(creator); err != nil {
+		return ProposalResponse{}, fmt.Errorf("%w: %v", ErrBadCreator, err)
+	}
+	entry, err := p.lookupChaincode(prop.Chaincode)
+	if err != nil {
+		return ProposalResponse{}, err
+	}
+	stub := chaincode.NewSimStub(prop.TxID, prop.Args, p.db)
+	if err := entry.cc.Invoke(stub); err != nil {
+		return ProposalResponse{}, fmt.Errorf("%w: %v", ErrChaincodeFailed, err)
+	}
+	rw := stub.Result()
+	if !p.cfg.EnableCRDT {
+		// A stock Fabric peer has no notion of CRDT writes: the flags are
+		// dropped and the writes validate/commit as ordinary ones.
+		for i := range rw.Writes {
+			rw.Writes[i].IsCRDT = false
+			rw.Writes[i].CRDTType = ""
+		}
+	}
+	payload, err := endorsementPayload(prop, rw)
+	if err != nil {
+		return ProposalResponse{}, err
+	}
+	endorser, err := p.signer.Identity.Marshal()
+	if err != nil {
+		return ProposalResponse{}, err
+	}
+	return ProposalResponse{
+		Endorser:  endorser,
+		RWSet:     rw,
+		Signature: p.signer.Sign(payload),
+	}, nil
+}
+
+// endorsementPayload derives the signed payload from a proposal + rwset,
+// matching Transaction.EndorsementPayload for the assembled transaction.
+func endorsementPayload(prop Proposal, rw rwset.ReadWriteSet) ([]byte, error) {
+	tx := ledger.Transaction{
+		ID:        prop.TxID,
+		ChannelID: prop.ChannelID,
+		Chaincode: prop.Chaincode,
+		RWSet:     rw,
+	}
+	return tx.EndorsementPayload()
+}
+
+// Events returns a channel receiving one CommitEvent per transaction in
+// every block this peer commits from the time of the call.
+func (p *Peer) Events() <-chan CommitEvent {
+	p.eventMu.Lock()
+	defer p.eventMu.Unlock()
+	ch := make(chan CommitEvent, 1024)
+	p.listeners = append(p.listeners, ch)
+	return ch
+}
+
+// CloseEvents closes all event listener channels; call once no more blocks
+// will be committed.
+func (p *Peer) CloseEvents() {
+	p.eventMu.Lock()
+	defer p.eventMu.Unlock()
+	for _, ch := range p.listeners {
+		close(ch)
+	}
+	p.listeners = nil
+}
+
+func (p *Peer) emit(ev CommitEvent) {
+	p.eventMu.RLock()
+	defer p.eventMu.RUnlock()
+	for _, ch := range p.listeners {
+		ch <- ev
+	}
+}
+
+// CommitBlock runs the validation + commit phase on a delivered block:
+// endorsement-policy validation, then the FabricCRDT merge for CRDT
+// transactions (when enabled), then MVCC validation for the rest, then an
+// atomic state update and ledger append (paper §2.1 step 3, §5.1).
+//
+// The block is serialized and re-parsed first: the committer works on the
+// peer's own copy (a real peer receives bytes from the deliver service),
+// and the pristine copy is what the hash-chained ledger stores — the merge
+// engine's write-set rewriting never invalidates the orderer's data hash.
+func (p *Peer) CommitBlock(block *ledger.Block) (CommitResult, error) {
+	raw, err := block.Marshal()
+	if err != nil {
+		return CommitResult{}, err
+	}
+	stored, err := ledger.UnmarshalBlock(raw)
+	if err != nil {
+		return CommitResult{}, err
+	}
+	view, err := ledger.UnmarshalBlock(raw)
+	if err != nil {
+		return CommitResult{}, err
+	}
+
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+
+	codes := make([]ledger.ValidationCode, len(view.Transactions))
+
+	// Duplicate transaction IDs: the paper's system model relies on peers
+	// to identify duplicates.
+	for i, tx := range view.Transactions {
+		if _, seen := p.committedIDs[tx.ID]; seen {
+			codes[i] = ledger.CodeDuplicate
+		}
+	}
+	// Within the block too: first occurrence wins.
+	seenInBlock := make(map[string]int, len(view.Transactions))
+	for i, tx := range view.Transactions {
+		if codes[i] != ledger.CodeNotValidated {
+			continue
+		}
+		if _, dup := seenInBlock[tx.ID]; dup {
+			codes[i] = ledger.CodeDuplicate
+			continue
+		}
+		seenInBlock[tx.ID] = i
+	}
+
+	// Endorsement validation (parallelized in Fabric; sequential here —
+	// the experiment harness models validation cost explicitly).
+	for i, tx := range view.Transactions {
+		if codes[i] != ledger.CodeNotValidated {
+			continue
+		}
+		codes[i] = p.validateEndorsements(tx)
+	}
+
+	// FabricCRDT merge path (Algorithm 1) for CRDT transactions.
+	var mergeRes core.Result
+	if p.cfg.EnableCRDT {
+		mergeRes, err = p.engine.MergeBlock(view, codes)
+		if err != nil {
+			return CommitResult{}, fmt.Errorf("peer %s: merging block %d: %w", p.cfg.Name, view.Header.Number, err)
+		}
+	}
+
+	// Stock MVCC validation for everything still undecided.
+	p.validator.ValidateBlock(view.Header.Number, view.Transactions, codes)
+
+	// Atomic commit: state writes + CRDT document states, then the ledger
+	// append of the pristine block carrying the validation codes.
+	batch := mvcc.BuildCommitBatch(view.Header.Number, view.Transactions, codes)
+	core.StageDocStates(batch, mergeRes)
+	p.db.Apply(batch, rwset.Version{BlockNum: view.Header.Number})
+
+	stored.Metadata.ValidationCodes = codes
+	if err := p.chain.Append(stored); err != nil {
+		return CommitResult{}, fmt.Errorf("peer %s: appending block %d: %w", p.cfg.Name, view.Header.Number, err)
+	}
+
+	committed := 0
+	for i, tx := range view.Transactions {
+		if codes[i].Committed() {
+			committed++
+		}
+		p.committedIDs[tx.ID] = struct{}{}
+		p.emit(CommitEvent{TxID: tx.ID, BlockNum: view.Header.Number, Code: codes[i]})
+	}
+	return CommitResult{
+		BlockNum:    view.Header.Number,
+		Codes:       codes,
+		MergedKeys:  mergeRes.MergedKeys,
+		CommittedTx: committed,
+	}, nil
+}
+
+// validateEndorsements checks the signatures and endorsement policy of one
+// transaction, returning CodeNotValidated when it passes (the decision then
+// falls to the merge engine or MVCC validation).
+func (p *Peer) validateEndorsements(tx *ledger.Transaction) ledger.ValidationCode {
+	entry, err := p.lookupChaincode(tx.Chaincode)
+	if err != nil {
+		return ledger.CodeEndorsementFailure
+	}
+	payload, err := tx.EndorsementPayload()
+	if err != nil {
+		return ledger.CodeBadSignature
+	}
+	var orgs []string
+	for _, end := range tx.Endorsements {
+		id, err := cryptoid.UnmarshalIdentity(end.Endorser)
+		if err != nil {
+			return ledger.CodeBadSignature
+		}
+		if err := p.msp.VerifySignature(id, payload, end.Signature); err != nil {
+			return ledger.CodeBadSignature
+		}
+		orgs = append(orgs, id.MSPID)
+	}
+	if !entry.policy.Satisfied(orgs) {
+		return ledger.CodeEndorsementFailure
+	}
+	return ledger.CodeNotValidated
+}
+
+// SyncFrom catches this peer up to a source peer by fetching and committing
+// every block this peer is missing — the state-transfer path a freshly
+// joined or restarted peer runs before serving endorsements. Blocks are
+// re-validated from scratch (endorsements, merge, MVCC), so a lying source
+// cannot inject invalid state; only the hash-chained block contents are
+// trusted as delivered.
+func (p *Peer) SyncFrom(source *Peer) error {
+	for {
+		next := p.chain.Height()
+		if next >= source.Chain().Height() {
+			return nil
+		}
+		block, err := source.Chain().Get(next)
+		if err != nil {
+			return fmt.Errorf("peer %s: fetching block %d from %s: %w", p.cfg.Name, next, source.Name(), err)
+		}
+		if _, err := p.CommitBlock(block); err != nil {
+			return fmt.Errorf("peer %s: syncing block %d: %w", p.cfg.Name, next, err)
+		}
+	}
+}
+
+// RebuildState replays the blockchain into a fresh world state — the
+// recovery path a peer runs after a crash (paper §2.1: "executing all valid
+// transactions included in the blockchain starting from the genesis block
+// results in the current state"). The committed blocks already carry their
+// validation codes, so replay applies exactly the recorded outcomes.
+func (p *Peer) RebuildState() error {
+	p.commitMu.Lock()
+	defer p.commitMu.Unlock()
+	p.db.Reset()
+	p.committedIDs = make(map[string]struct{})
+	for _, block := range p.chain.Blocks() {
+		if block.Header.Number == 0 {
+			continue
+		}
+		// Re-run the merge so CRDT write rewrites are reconstructed; the
+		// recorded codes say which transactions were merged vs failed.
+		raw, err := block.Marshal()
+		if err != nil {
+			return err
+		}
+		view, err := ledger.UnmarshalBlock(raw)
+		if err != nil {
+			return err
+		}
+		codes := make([]ledger.ValidationCode, len(view.Transactions))
+		copy(codes, block.Metadata.ValidationCodes)
+		var mergeRes core.Result
+		if p.cfg.EnableCRDT {
+			// Reset merged markers so the engine re-merges them.
+			for i := range codes {
+				if codes[i] == ledger.CodeCRDTMerged {
+					codes[i] = ledger.CodeNotValidated
+				}
+			}
+			mergeRes, err = p.engine.MergeBlock(view, codes)
+			if err != nil {
+				return fmt.Errorf("peer %s: replaying block %d: %w", p.cfg.Name, view.Header.Number, err)
+			}
+		}
+		batch := mvcc.BuildCommitBatch(view.Header.Number, view.Transactions, block.Metadata.ValidationCodes)
+		core.StageDocStates(batch, mergeRes)
+		p.db.Apply(batch, rwset.Version{BlockNum: view.Header.Number})
+		for _, tx := range view.Transactions {
+			p.committedIDs[tx.ID] = struct{}{}
+		}
+	}
+	return nil
+}

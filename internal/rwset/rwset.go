@@ -1,0 +1,175 @@
+// Package rwset implements Fabric's transaction read/write sets and value
+// versions (paper §3): the read set records each key read during chaincode
+// simulation together with the version of the value read; the write set
+// records the key/value pairs to commit. FabricCRDT extends writes with a
+// CRDT flag so that the committer can route them through the merge engine
+// instead of MVCC validation.
+package rwset
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+)
+
+// Version identifies the transaction that last committed a key: the block
+// number and the transaction's position within it. The zero Version means
+// "key does not exist".
+type Version struct {
+	BlockNum uint64 `json:"block"`
+	TxNum    uint64 `json:"tx"`
+}
+
+// IsZero reports whether v is the "absent key" version.
+func (v Version) IsZero() bool { return v == Version{} }
+
+// String renders the version as "block:tx".
+func (v Version) String() string { return fmt.Sprintf("%d:%d", v.BlockNum, v.TxNum) }
+
+// Read is one read-set entry.
+type Read struct {
+	Key     string  `json:"key"`
+	Version Version `json:"version"`
+}
+
+// Write is one write-set entry.
+type Write struct {
+	Key      string `json:"key"`
+	Value    []byte `json:"value,omitempty"`
+	IsDelete bool   `json:"isDelete,omitempty"`
+	// IsCRDT marks the value as a CRDT-encapsulated write (FabricCRDT §5.1:
+	// "peers flag the key-value pairs in the resulting transaction's
+	// write-set as CRDT key-values"). CRDT writes skip MVCC validation and
+	// are merged at commit time.
+	IsCRDT bool `json:"isCRDT,omitempty"`
+	// CRDTType selects the merge procedure for a CRDT write: empty means
+	// the JSON CRDT (the paper's prototype), any other value names a
+	// datatype in the classic-CRDT registry (the paper's future-work
+	// extension: counters, sets, registers, graphs).
+	CRDTType string `json:"crdtType,omitempty"`
+}
+
+// ReadWriteSet is the outcome of simulating one transaction proposal.
+type ReadWriteSet struct {
+	Reads  []Read  `json:"reads,omitempty"`
+	Writes []Write `json:"writes,omitempty"`
+}
+
+// HasCRDTWrites reports whether any write is CRDT-flagged.
+func (rw ReadWriteSet) HasCRDTWrites() bool {
+	for _, w := range rw.Writes {
+		if w.IsCRDT {
+			return true
+		}
+	}
+	return false
+}
+
+// Marshal serializes the set deterministically (entries keep simulation
+// order, which the builder makes canonical).
+func (rw ReadWriteSet) Marshal() ([]byte, error) {
+	return json.Marshal(rw)
+}
+
+// Unmarshal parses Marshal output.
+func Unmarshal(data []byte) (ReadWriteSet, error) {
+	var rw ReadWriteSet
+	if err := json.Unmarshal(data, &rw); err != nil {
+		return ReadWriteSet{}, fmt.Errorf("rwset: decoding: %w", err)
+	}
+	return rw, nil
+}
+
+// Hash returns the SHA-256 digest of the serialized set. Clients compare
+// hashes across endorsements to detect non-deterministic chaincode.
+func (rw ReadWriteSet) Hash() ([32]byte, error) {
+	data, err := rw.Marshal()
+	if err != nil {
+		return [32]byte{}, err
+	}
+	return sha256.Sum256(data), nil
+}
+
+// Equal reports deep equality of two sets.
+func (rw ReadWriteSet) Equal(other ReadWriteSet) bool {
+	if len(rw.Reads) != len(other.Reads) || len(rw.Writes) != len(other.Writes) {
+		return false
+	}
+	for i, r := range rw.Reads {
+		if r != other.Reads[i] {
+			return false
+		}
+	}
+	for i, w := range rw.Writes {
+		ow := other.Writes[i]
+		if w.Key != ow.Key || w.IsDelete != ow.IsDelete || w.IsCRDT != ow.IsCRDT ||
+			w.CRDTType != ow.CRDTType || !bytes.Equal(w.Value, ow.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// Builder accumulates reads and writes during chaincode simulation with
+// Fabric's canonicalization: the first read of a key wins (later reads see
+// the same committed snapshot), the last write of a key wins, and entries
+// are emitted in first-touch order.
+type Builder struct {
+	readOrder  []string
+	reads      map[string]Read
+	writeOrder []string
+	writes     map[string]Write
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		reads:  make(map[string]Read),
+		writes: make(map[string]Write),
+	}
+}
+
+// AddRead records a read of key at version; only the first read of a key is
+// kept.
+func (b *Builder) AddRead(key string, version Version) {
+	if _, ok := b.reads[key]; ok {
+		return
+	}
+	b.reads[key] = Read{Key: key, Version: version}
+	b.readOrder = append(b.readOrder, key)
+}
+
+// AddWrite records a write; the last write of a key wins but keeps the
+// key's original position.
+func (b *Builder) AddWrite(w Write) {
+	if _, ok := b.writes[w.Key]; !ok {
+		b.writeOrder = append(b.writeOrder, w.Key)
+	}
+	b.writes[w.Key] = w
+}
+
+// PendingWrite returns the not-yet-built write for key, supporting
+// read-your-own-writes during simulation.
+func (b *Builder) PendingWrite(key string) (Write, bool) {
+	w, ok := b.writes[key]
+	return w, ok
+}
+
+// Build returns the canonical read/write set.
+func (b *Builder) Build() ReadWriteSet {
+	rw := ReadWriteSet{}
+	if len(b.readOrder) > 0 {
+		rw.Reads = make([]Read, 0, len(b.readOrder))
+		for _, k := range b.readOrder {
+			rw.Reads = append(rw.Reads, b.reads[k])
+		}
+	}
+	if len(b.writeOrder) > 0 {
+		rw.Writes = make([]Write, 0, len(b.writeOrder))
+		for _, k := range b.writeOrder {
+			rw.Writes = append(rw.Writes, b.writes[k])
+		}
+	}
+	return rw
+}

@@ -1,0 +1,157 @@
+package rwset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderFirstReadWins(t *testing.T) {
+	b := NewBuilder()
+	b.AddRead("k", Version{BlockNum: 1, TxNum: 2})
+	b.AddRead("k", Version{BlockNum: 9, TxNum: 9})
+	rw := b.Build()
+	if len(rw.Reads) != 1 {
+		t.Fatalf("reads = %d, want 1", len(rw.Reads))
+	}
+	if rw.Reads[0].Version != (Version{BlockNum: 1, TxNum: 2}) {
+		t.Fatalf("read version = %v, want first", rw.Reads[0].Version)
+	}
+}
+
+func TestBuilderLastWriteWins(t *testing.T) {
+	b := NewBuilder()
+	b.AddWrite(Write{Key: "k", Value: []byte("v1")})
+	b.AddWrite(Write{Key: "other", Value: []byte("x")})
+	b.AddWrite(Write{Key: "k", Value: []byte("v2"), IsCRDT: true})
+	rw := b.Build()
+	if len(rw.Writes) != 2 {
+		t.Fatalf("writes = %d, want 2", len(rw.Writes))
+	}
+	// Position preserved (k first), value updated.
+	if rw.Writes[0].Key != "k" || string(rw.Writes[0].Value) != "v2" || !rw.Writes[0].IsCRDT {
+		t.Fatalf("writes[0] = %+v", rw.Writes[0])
+	}
+}
+
+func TestBuilderPendingWrite(t *testing.T) {
+	b := NewBuilder()
+	if _, ok := b.PendingWrite("k"); ok {
+		t.Fatal("no pending write expected")
+	}
+	b.AddWrite(Write{Key: "k", Value: []byte("v")})
+	w, ok := b.PendingWrite("k")
+	if !ok || string(w.Value) != "v" {
+		t.Fatalf("pending = %+v, %v", w, ok)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	b.AddRead("a", Version{BlockNum: 3, TxNum: 1})
+	b.AddWrite(Write{Key: "b", Value: []byte(`{"x":1}`), IsCRDT: true})
+	b.AddWrite(Write{Key: "c", IsDelete: true})
+	rw := b.Build()
+	data, err := rw.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rw.Equal(back) {
+		t.Fatalf("round trip: %+v vs %+v", rw, back)
+	}
+}
+
+func TestUnmarshalError(t *testing.T) {
+	if _, err := Unmarshal([]byte("{bad")); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestHashDiffersOnChange(t *testing.T) {
+	b1 := NewBuilder()
+	b1.AddWrite(Write{Key: "k", Value: []byte("v1")})
+	b2 := NewBuilder()
+	b2.AddWrite(Write{Key: "k", Value: []byte("v2")})
+	h1, err := b1.Build().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := b2.Build().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatal("hashes must differ for different write values")
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	base := func() ReadWriteSet {
+		b := NewBuilder()
+		b.AddRead("r", Version{BlockNum: 1})
+		b.AddWrite(Write{Key: "w", Value: []byte("v")})
+		return b.Build()
+	}
+	rw := base()
+	if !rw.Equal(base()) {
+		t.Fatal("identical sets must be equal")
+	}
+	variants := []ReadWriteSet{
+		{Reads: rw.Reads},   // missing writes
+		{Writes: rw.Writes}, // missing reads
+		{Reads: []Read{{Key: "r", Version: Version{BlockNum: 2}}}, Writes: rw.Writes}, // version differs
+		{Reads: rw.Reads, Writes: []Write{{Key: "w", Value: []byte("v"), IsCRDT: true}}},
+		{Reads: rw.Reads, Writes: []Write{{Key: "w", Value: []byte("v"), IsDelete: true}}},
+	}
+	for i, v := range variants {
+		if rw.Equal(v) {
+			t.Errorf("variant %d compared equal", i)
+		}
+	}
+}
+
+func TestHasCRDTWrites(t *testing.T) {
+	if (ReadWriteSet{Writes: []Write{{Key: "k"}}}).HasCRDTWrites() {
+		t.Fatal("no CRDT writes expected")
+	}
+	if !(ReadWriteSet{Writes: []Write{{Key: "k"}, {Key: "c", IsCRDT: true}}}).HasCRDTWrites() {
+		t.Fatal("CRDT write not detected")
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	v := Version{BlockNum: 4, TxNum: 7}
+	if v.String() != "4:7" {
+		t.Fatalf("String = %q", v.String())
+	}
+	if !(Version{}).IsZero() || v.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+// Property: marshal/unmarshal round trip preserves equality.
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(keys []string, block, tx uint64, crdt bool) bool {
+		b := NewBuilder()
+		for _, k := range keys {
+			b.AddRead(k, Version{BlockNum: block, TxNum: tx})
+			b.AddWrite(Write{Key: k, Value: []byte(k), IsCRDT: crdt})
+		}
+		rw := b.Build()
+		data, err := rw.Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return rw.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

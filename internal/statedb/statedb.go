@@ -1,0 +1,171 @@
+// Package statedb implements the world state database: a versioned
+// key-value store standing in for the CouchDB instance each Fabric peer
+// runs. Executing all valid transactions from the genesis block forward
+// yields the current contents (paper §2.1); every value carries the
+// (block, tx) version MVCC validation compares against.
+//
+// A separate metadata space holds FabricCRDT's persisted JSON CRDT document
+// states, keeping CRDT bookkeeping invisible to chaincode reads.
+package statedb
+
+import (
+	"sort"
+	"sync"
+
+	"fabriccrdt/internal/rwset"
+)
+
+// VersionedValue is a stored value with its commit version.
+type VersionedValue struct {
+	Value   []byte
+	Version rwset.Version
+}
+
+// DB is one peer's world state. It is safe for concurrent use: endorsement
+// reads proceed while block commits write.
+type DB struct {
+	mu   sync.RWMutex
+	data map[string]VersionedValue
+	meta map[string][]byte
+	// height is the version of the last committed block.
+	height rwset.Version
+}
+
+// New returns an empty world state.
+func New() *DB {
+	return &DB{
+		data: make(map[string]VersionedValue),
+		meta: make(map[string][]byte),
+	}
+}
+
+// Get returns the value stored at key.
+func (db *DB) Get(key string) (VersionedValue, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	vv, ok := db.data[key]
+	return vv, ok
+}
+
+// Version returns the commit version of key, or the zero Version when the
+// key is absent — precisely what a chaincode read records into the read set.
+func (db *DB) Version(key string) rwset.Version {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.data[key].Version
+}
+
+// Height returns the version of the most recent commit.
+func (db *DB) Height() rwset.Version {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.height
+}
+
+// KeyCount returns the number of live keys.
+func (db *DB) KeyCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.data)
+}
+
+// Update is one key mutation within a batch.
+type Update struct {
+	Value    []byte
+	IsDelete bool
+	Version  rwset.Version
+}
+
+// UpdateBatch is an ordered set of key mutations produced by validating one
+// block. Later updates of the same key overwrite earlier ones, mirroring
+// Fabric's commit of the last valid write per key.
+type UpdateBatch struct {
+	updates map[string]Update
+	metaPut map[string][]byte
+}
+
+// NewUpdateBatch returns an empty batch.
+func NewUpdateBatch() *UpdateBatch {
+	return &UpdateBatch{
+		updates: make(map[string]Update),
+		metaPut: make(map[string][]byte),
+	}
+}
+
+// Put stages a value write.
+func (b *UpdateBatch) Put(key string, value []byte, version rwset.Version) {
+	b.updates[key] = Update{Value: value, Version: version}
+}
+
+// Delete stages a key deletion.
+func (b *UpdateBatch) Delete(key string, version rwset.Version) {
+	b.updates[key] = Update{IsDelete: true, Version: version}
+}
+
+// PutMeta stages a metadata write (e.g. a persisted CRDT document).
+func (b *UpdateBatch) PutMeta(key string, value []byte) {
+	b.metaPut[key] = value
+}
+
+// Len returns the number of staged key mutations.
+func (b *UpdateBatch) Len() int { return len(b.updates) }
+
+// Apply commits the batch atomically, advancing the DB height.
+func (db *DB) Apply(batch *UpdateBatch, height rwset.Version) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for key, u := range batch.updates {
+		if u.IsDelete {
+			delete(db.data, key)
+			continue
+		}
+		db.data[key] = VersionedValue{Value: u.Value, Version: u.Version}
+	}
+	for key, v := range batch.metaPut {
+		db.meta[key] = v
+	}
+	db.height = height
+}
+
+// GetMeta returns a metadata value (nil when absent).
+func (db *DB) GetMeta(key string) []byte {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.meta[key]
+}
+
+// KV is a key with its stored value, returned by range scans.
+type KV struct {
+	Key string
+	VersionedValue
+}
+
+// GetRange returns all keys in [start, end) in sorted order; an empty end
+// means "to the last key". It stands in for CouchDB range queries used by
+// chaincodes.
+func (db *DB) GetRange(start, end string) []KV {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	keys := make([]string, 0, len(db.data))
+	for k := range db.data {
+		if k >= start && (end == "" || k < end) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]KV, len(keys))
+	for i, k := range keys {
+		out[i] = KV{Key: k, VersionedValue: db.data[k]}
+	}
+	return out
+}
+
+// Reset drops all contents; used when a peer rebuilds state by replaying
+// the blockchain.
+func (db *DB) Reset() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.data = make(map[string]VersionedValue)
+	db.meta = make(map[string][]byte)
+	db.height = rwset.Version{}
+}

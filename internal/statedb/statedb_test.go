@@ -1,0 +1,152 @@
+package statedb
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"fabriccrdt/internal/rwset"
+)
+
+func TestPutGet(t *testing.T) {
+	db := New()
+	batch := NewUpdateBatch()
+	batch.Put("k", []byte("v"), rwset.Version{BlockNum: 1, TxNum: 0})
+	db.Apply(batch, rwset.Version{BlockNum: 1})
+	vv, ok := db.Get("k")
+	if !ok || string(vv.Value) != "v" {
+		t.Fatalf("Get = %+v, %v", vv, ok)
+	}
+	if vv.Version != (rwset.Version{BlockNum: 1, TxNum: 0}) {
+		t.Fatalf("version = %v", vv.Version)
+	}
+}
+
+func TestVersionOfMissingKeyIsZero(t *testing.T) {
+	db := New()
+	if v := db.Version("missing"); !v.IsZero() {
+		t.Fatalf("version of missing key = %v, want zero", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db := New()
+	b1 := NewUpdateBatch()
+	b1.Put("k", []byte("v"), rwset.Version{BlockNum: 1})
+	db.Apply(b1, rwset.Version{BlockNum: 1})
+	b2 := NewUpdateBatch()
+	b2.Delete("k", rwset.Version{BlockNum: 2})
+	db.Apply(b2, rwset.Version{BlockNum: 2})
+	if _, ok := db.Get("k"); ok {
+		t.Fatal("key still present after delete")
+	}
+	if db.KeyCount() != 0 {
+		t.Fatalf("KeyCount = %d", db.KeyCount())
+	}
+}
+
+func TestHeightAdvances(t *testing.T) {
+	db := New()
+	if !db.Height().IsZero() {
+		t.Fatal("fresh DB height must be zero")
+	}
+	db.Apply(NewUpdateBatch(), rwset.Version{BlockNum: 5})
+	if db.Height() != (rwset.Version{BlockNum: 5}) {
+		t.Fatalf("height = %v", db.Height())
+	}
+}
+
+func TestBatchLastUpdateWins(t *testing.T) {
+	db := New()
+	b := NewUpdateBatch()
+	b.Put("k", []byte("v1"), rwset.Version{BlockNum: 1, TxNum: 0})
+	b.Put("k", []byte("v2"), rwset.Version{BlockNum: 1, TxNum: 3})
+	if b.Len() != 1 {
+		t.Fatalf("batch len = %d, want 1", b.Len())
+	}
+	db.Apply(b, rwset.Version{BlockNum: 1})
+	vv, _ := db.Get("k")
+	if string(vv.Value) != "v2" || vv.Version.TxNum != 3 {
+		t.Fatalf("got %+v", vv)
+	}
+}
+
+func TestMeta(t *testing.T) {
+	db := New()
+	if db.GetMeta("crdt/k") != nil {
+		t.Fatal("missing meta must be nil")
+	}
+	b := NewUpdateBatch()
+	b.PutMeta("crdt/k", []byte("docstate"))
+	db.Apply(b, rwset.Version{BlockNum: 1})
+	if !bytes.Equal(db.GetMeta("crdt/k"), []byte("docstate")) {
+		t.Fatal("meta round trip failed")
+	}
+}
+
+func TestGetRange(t *testing.T) {
+	db := New()
+	b := NewUpdateBatch()
+	for _, k := range []string{"a", "b", "c", "d"} {
+		b.Put(k, []byte(k), rwset.Version{BlockNum: 1})
+	}
+	db.Apply(b, rwset.Version{BlockNum: 1})
+	kvs := db.GetRange("b", "d")
+	if len(kvs) != 2 || kvs[0].Key != "b" || kvs[1].Key != "c" {
+		t.Fatalf("range [b,d) = %+v", kvs)
+	}
+	all := db.GetRange("", "")
+	if len(all) != 4 || all[0].Key != "a" || all[3].Key != "d" {
+		t.Fatalf("full range = %+v", all)
+	}
+}
+
+func TestReset(t *testing.T) {
+	db := New()
+	b := NewUpdateBatch()
+	b.Put("k", []byte("v"), rwset.Version{BlockNum: 1})
+	b.PutMeta("m", []byte("x"))
+	db.Apply(b, rwset.Version{BlockNum: 1})
+	db.Reset()
+	if db.KeyCount() != 0 || db.GetMeta("m") != nil || !db.Height().IsZero() {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestConcurrentReadsDuringCommit(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := NewUpdateBatch()
+				b.Put("k", []byte{byte(worker)}, rwset.Version{BlockNum: uint64(i)})
+				db.Apply(b, rwset.Version{BlockNum: uint64(i)})
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				db.Get("k")
+				db.Version("k")
+				db.Height()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkApplySmallBatch(b *testing.B) {
+	db := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		batch := NewUpdateBatch()
+		batch.Put("device-1", []byte(`{"t":21}`), rwset.Version{BlockNum: uint64(i)})
+		db.Apply(batch, rwset.Version{BlockNum: uint64(i)})
+	}
+}
