@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench
+
+ci: fmt vet build race
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Commit-pipeline benchmark; refreshes BENCH_commit.json.
+bench:
+	$(GO) test -run xxx -bench BenchmarkCommitPipeline -benchtime=20x .

@@ -1,0 +1,213 @@
+// Commit-pipeline benchmark: one delivered block driven through the staged
+// committer at several worker counts, CRDT on and off, measuring the real
+// pipeline (ed25519 endorsement checks, merge, MVCC, state apply). Results
+// are summarized into BENCH_commit.json for the perf trajectory.
+//
+// Run: go test -bench=BenchmarkCommitPipeline -benchtime=10x .
+package fabriccrdt_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"fabriccrdt/internal/chaincode"
+	"fabriccrdt/internal/cryptoid"
+	"fabriccrdt/internal/endorse"
+	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/orderer"
+	"fabriccrdt/internal/peer"
+)
+
+// commitFixture endorses benchmark blocks once; fresh committer peers
+// (sharing the CA, MSP and chaincode) then replay them under different
+// pipeline configurations.
+type commitFixture struct {
+	ca         *cryptoid.CA
+	msp        *cryptoid.MSP
+	endorser   *peer.Peer
+	client     *cryptoid.Signer
+	enableCRDT bool
+	policy     *endorse.Policy
+	nPeers     int
+}
+
+// benchChaincode appends one reading to a device document (PutCRDT); on a
+// stock peer the endorser drops the flag and the write validates via MVCC.
+func benchChaincode() chaincode.Chaincode {
+	return chaincode.Func(func(stub chaincode.Stub) error {
+		_, params := stub.Function()
+		device, reading := params[0], params[1]
+		if _, err := stub.GetState(device); err != nil {
+			return err
+		}
+		return stub.PutCRDT(device, []byte(`{"r":[{"t":"`+reading+`"}]}`))
+	})
+}
+
+func newCommitFixture(b *testing.B, enableCRDT bool) *commitFixture {
+	b.Helper()
+	ca, err := cryptoid.NewCA("Org1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	msp := cryptoid.NewMSP()
+	msp.AddOrg("Org1", ca.PublicKey())
+	client, err := ca.Issue("bench-client")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fix := &commitFixture{
+		ca: ca, msp: msp, client: client, enableCRDT: enableCRDT,
+		policy: endorse.MustParse("'Org1.member'"),
+	}
+	fix.endorser = fix.newPeer(b, peer.CommitterConfig{})
+	return fix
+}
+
+func (f *commitFixture) newPeer(b *testing.B, committer peer.CommitterConfig) *peer.Peer {
+	b.Helper()
+	f.nPeers++
+	name := fmt.Sprintf("Org1.bench%d", f.nPeers)
+	signer, err := f.ca.Issue(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := peer.New(peer.Config{
+		Name: name, MSPID: "Org1", ChannelID: "bench",
+		EnableCRDT: f.enableCRDT, Committer: committer,
+	}, signer, f.msp)
+	p.InstallChaincode("bench", benchChaincode(), f.policy)
+	return p
+}
+
+// endorsedBlock assembles a block of n conflicting transactions spread over
+// 4 device keys, endorsed against the (never-committing) endorser's state.
+func (f *commitFixture) endorsedBlock(b *testing.B, n int) *ledger.Block {
+	b.Helper()
+	creator, err := f.client.Identity.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	txs := make([]*ledger.Transaction, n)
+	for i := range txs {
+		txID := fmt.Sprintf("bench-%d", i)
+		args := [][]byte{[]byte("record"), []byte(fmt.Sprintf("dev%d", i%4)), []byte(fmt.Sprintf("%d", i))}
+		resp, err := f.endorser.Endorse(peer.Proposal{
+			TxID: txID, ChannelID: "bench", Chaincode: "bench", Args: args, Creator: creator,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		txs[i] = &ledger.Transaction{
+			ID: txID, ChannelID: "bench", Chaincode: "bench", Creator: creator, Args: args,
+			RWSet:        resp.RWSet,
+			Endorsements: []ledger.Endorsement{{Endorser: resp.Endorser, Signature: resp.Signature}},
+		}
+	}
+	assembler := orderer.NewAssembler(f.endorser.Chain().Last())
+	block, err := assembler.Assemble(orderer.Batch{Transactions: txs, Reason: orderer.CutMaxMessages})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return block
+}
+
+// commitBenchEntry is one BENCH_commit.json record.
+type commitBenchEntry struct {
+	CRDT       bool    `json:"crdt"`
+	BlockTxs   int     `json:"block_txs"`
+	Workers    int     `json:"workers"`
+	NsPerBlock int64   `json:"ns_per_block"`
+	TxPerSec   float64 `json:"tx_per_s"`
+}
+
+var (
+	commitBenchMu      sync.Mutex
+	commitBenchResults = make(map[string]commitBenchEntry)
+)
+
+// recordCommitBench keeps the latest measurement per configuration and
+// rewrites BENCH_commit.json (benchmarks re-run sub-benchmarks with growing
+// N; last = most accurate).
+func recordCommitBench(b *testing.B, e commitBenchEntry) {
+	b.Helper()
+	commitBenchMu.Lock()
+	defer commitBenchMu.Unlock()
+	commitBenchResults[fmt.Sprintf("%v/%d/%d", e.CRDT, e.BlockTxs, e.Workers)] = e
+	entries := make([]commitBenchEntry, 0, len(commitBenchResults))
+	for _, v := range commitBenchResults {
+		entries = append(entries, v)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, c := entries[i], entries[j]
+		if a.CRDT != c.CRDT {
+			return a.CRDT
+		}
+		if a.BlockTxs != c.BlockTxs {
+			return a.BlockTxs < c.BlockTxs
+		}
+		return a.Workers < c.Workers
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_commit.json", data, 0o644); err != nil {
+		b.Logf("writing BENCH_commit.json: %v", err)
+	}
+}
+
+// BenchmarkCommitPipeline measures CommitBlock wall time per configuration.
+// Peer construction (key issuance, chaincode install) happens off the clock;
+// only the staged pipeline is timed.
+func BenchmarkCommitPipeline(b *testing.B) {
+	for _, enableCRDT := range []bool{true, false} {
+		mode := "FabricCRDT"
+		if !enableCRDT {
+			mode = "Fabric"
+		}
+		for _, blockTxs := range []int{25, 100} {
+			fix := newCommitFixture(b, enableCRDT)
+			block := fix.endorsedBlock(b, blockTxs)
+			for _, workers := range []int{1, 4, 8} {
+				name := fmt.Sprintf("%s/txs=%d/workers=%d", mode, blockTxs, workers)
+				b.Run(name, func(b *testing.B) {
+					cfg := peer.CommitterConfig{Workers: workers, StateShards: workers}
+					var total time.Duration
+					var lastPeer *peer.Peer
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						p := fix.newPeer(b, cfg)
+						lastPeer = p
+						b.StartTimer()
+						start := time.Now()
+						res, err := p.CommitBlock(block)
+						if err != nil {
+							b.Fatal(err)
+						}
+						total += time.Since(start)
+						if enableCRDT && res.CommittedTx != blockTxs {
+							b.Fatalf("committed %d/%d", res.CommittedTx, blockTxs)
+						}
+					}
+					nsPerBlock := total.Nanoseconds() / int64(b.N)
+					txPerSec := float64(blockTxs) / (float64(nsPerBlock) / 1e9)
+					b.ReportMetric(txPerSec, "tx/s")
+					for _, s := range lastPeer.CommitTimings() {
+						b.ReportMetric(float64(s.Avg.Nanoseconds()), s.Stage+"_ns")
+					}
+					recordCommitBench(b, commitBenchEntry{
+						CRDT: enableCRDT, BlockTxs: blockTxs, Workers: workers,
+						NsPerBlock: nsPerBlock, TxPerSec: txPerSec,
+					})
+				})
+			}
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"fabriccrdt/internal/fabricnet"
 	"fabriccrdt/internal/jsoncrdt"
 	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/metrics"
 	"fabriccrdt/internal/orderer"
 	"fabriccrdt/internal/peer"
 	"fabriccrdt/internal/statedb"
@@ -46,6 +47,15 @@ type (
 	OrdererConfig = orderer.Config
 	// EngineOptions tunes the CRDT merge engine.
 	EngineOptions = core.Options
+	// CommitterConfig tunes every peer's staged commit pipeline: the
+	// endorsement-validation worker pool, the merge engine's key-group
+	// parallelism and the statedb shard count. The zero value is fully
+	// serial on the single-lock backend; any Workers setting produces
+	// identical commit results.
+	CommitterConfig = peer.CommitterConfig
+	// CommitStageSummary aggregates one commit-pipeline stage's latencies,
+	// as returned by Peer.CommitTimings.
+	CommitStageSummary = metrics.StageSummary
 )
 
 // NewNetwork builds a network: per-org CAs, peers, an ordering service and

@@ -1,0 +1,3 @@
+module fabriccrdt
+
+go 1.24

@@ -13,6 +13,12 @@
 // and reloaded to seed the merge of later blocks, so deltas merge against
 // the key's complete history (DESIGN.md §3 records this clarification of
 // the paper's delta semantics).
+//
+// The merge is organized as independent per-key groups: all CRDT writes to
+// one key, in block order, form one group, and distinct groups share no
+// state. Options.Workers merges groups concurrently; because the per-key
+// write order never changes, results are byte-identical at every worker
+// count (DESIGN.md §5).
 package core
 
 import (
@@ -23,6 +29,7 @@ import (
 	"fabriccrdt/internal/crdt"
 	"fabriccrdt/internal/jsoncrdt"
 	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/parallel"
 	"fabriccrdt/internal/rwset"
 	"fabriccrdt/internal/statedb"
 )
@@ -56,6 +63,10 @@ type Options struct {
 	// (DESIGN.md §3). The paper's evaluation is reproduced with this ON,
 	// which is what yields Figure 3's block-size-dependent merge cost.
 	FreshDocPerBlock bool
+	// Workers bounds how many independent key-groups merge concurrently
+	// (0 or 1 = serial). Per-key write order is block order regardless,
+	// so merge results are byte-identical at every setting.
+	Workers int
 }
 
 // Engine merges the CRDT transactions of blocks for one peer.
@@ -91,6 +102,34 @@ type Result struct {
 	TypedStates map[string][]byte
 }
 
+// mergeOp is one CRDT-flagged write scheduled into a key-group: the write
+// plus its position in the block (for validation codes and deterministic
+// ordering).
+type mergeOp struct {
+	txIdx int
+	w     *rwset.Write
+	// ok records whether the write merged cleanly (set by runGroup).
+	ok bool
+}
+
+// keyGroup is the unit of merge parallelism: every CRDT write to one key,
+// in block order. Groups share no mutable state, so they run concurrently
+// without synchronization; per-op outputs land in disjoint slots.
+type keyGroup struct {
+	key string
+	ops []*mergeOp
+
+	// Outputs of the merge pass.
+	doc   *jsoncrdt.Doc
+	typed *typedState
+	err   error // hard failure (corrupt persisted state), not a bad delta
+
+	// Outputs of the finish pass (serialization).
+	docState   []byte
+	typedState []byte
+	finishErr  error
+}
+
 // MergeBlock implements Algorithm 1 (ValidateMergeBlock). codes[i] must be
 // CodeNotValidated for transactions still in play and a failure code for
 // transactions that already failed endorsement validation; the engine sets
@@ -99,20 +138,98 @@ type Result struct {
 // transactions carrying unparseable values. Write-set values of merged
 // transactions are rewritten in place to the converged documents.
 //
+// A transaction is merged only if every one of its CRDT writes merges
+// cleanly; a bad delta fails the transaction (CodeInvalidCRDT) while its
+// other writes still extend their keys' documents, exactly as its earlier
+// writes already did — one transaction's failure never rolls back a key
+// group, in any interleaving.
+//
 // The caller runs stock MVCC validation afterwards for the remaining
 // transactions (Algorithm 1 line 15) and commits both groups in one batch.
 func (e *Engine) MergeBlock(block *ledger.Block, codes []ledger.ValidationCode) (Result, error) {
+	groups, flat, candidates := classify(block, codes)
+
+	// Merge pass: each group replays its key's writes in block order.
+	e.forEachGroup(groups, e.runGroup)
+	if err := firstMergeError(flat); err != nil {
+		return Result{}, err
+	}
+
+	// Validation codes: a candidate is merged iff all its writes merged.
 	res := Result{
 		DocStates:   make(map[string][]byte),
 		TypedStates: make(map[string][]byte),
 	}
-	docs := make(map[string]*jsoncrdt.Doc)
-	typed := make(map[string]*typedState)
-	seen := make(map[string]struct{})
+	txFailed := make(map[int]bool)
+	for _, item := range flat {
+		if !item.op.ok {
+			txFailed[item.op.txIdx] = true
+		}
+	}
+	for _, txIdx := range candidates {
+		if txFailed[txIdx] {
+			codes[txIdx] = ledger.CodeInvalidCRDT
+			continue
+		}
+		codes[txIdx] = ledger.CodeCRDTMerged
+		res.MergedTxCount++
+	}
 
-	// First pass (Algorithm 1 lines 3–14): merge every CRDT-flagged value
-	// into its key's document — or, for typed writes, join it into the
-	// key's classic-CRDT state — in block order.
+	// MergedKeys in first-successful-touch block order.
+	seen := make(map[string]struct{}, len(groups))
+	for _, item := range flat {
+		if !item.op.ok {
+			continue
+		}
+		if _, ok := seen[item.g.key]; ok {
+			continue
+		}
+		seen[item.g.key] = struct{}{}
+		res.MergedKeys = append(res.MergedKeys, item.g.key)
+	}
+
+	// Finish pass (Algorithm 1 lines 16–22): rewrite every merged
+	// transaction's CRDT write values with the converged documents,
+	// metadata stripped, and serialize the states to persist. The paper's
+	// literal algorithm converts the document anew for every transaction;
+	// SerializeOncePerKey caches it.
+	e.forEachGroup(groups, func(g *keyGroup) { e.finishGroup(g, codes) })
+	for _, g := range groups {
+		if g.finishErr != nil {
+			return Result{}, g.finishErr
+		}
+	}
+
+	for _, g := range groups {
+		if g.typedState != nil {
+			// Always persisted, even in fresh-per-block mode — a
+			// state-based join is cheap and counters are meaningless
+			// without continuity.
+			res.TypedStates[g.key] = g.typedState
+		}
+		if g.docState != nil {
+			res.DocStates[g.key] = g.docState
+		}
+	}
+	return res, nil
+}
+
+// flatOp is one scheduled write in block order, used to derive
+// deterministic, worker-count-independent orderings.
+type flatOp struct {
+	g  *keyGroup
+	op *mergeOp
+}
+
+// classify walks the block in order and groups CRDT writes by key. It is
+// the serial stage of the pipeline: cheap bookkeeping only, no parsing or
+// merging. candidates lists (ascending) the transactions eligible for the
+// merge path.
+func classify(block *ledger.Block, codes []ledger.ValidationCode) ([]*keyGroup, []flatOp, []int) {
+	byKey := make(map[string]*keyGroup)
+	var groups []*keyGroup
+	var flat []flatOp
+	var candidates []int
 	for i, tx := range block.Transactions {
 		if codes[i] != ledger.CodeNotValidated {
 			continue // failed endorsement validation; never merged
@@ -120,99 +237,115 @@ func (e *Engine) MergeBlock(block *ledger.Block, codes []ledger.ValidationCode) 
 		if !tx.RWSet.HasCRDTWrites() {
 			continue // non-CRDT transaction: left for MVCC validation
 		}
-		merged := true
+		candidates = append(candidates, i)
 		for wi := range tx.RWSet.Writes {
 			w := &tx.RWSet.Writes[wi]
 			if !w.IsCRDT {
 				continue
 			}
-			err := e.mergeWrite(docs, typed, w)
-			switch {
-			case errors.Is(err, errInvalidDelta):
-				codes[i] = ledger.CodeInvalidCRDT
-				merged = false
-			case err != nil:
-				return Result{}, err
+			g, ok := byKey[w.Key]
+			if !ok {
+				g = &keyGroup{key: w.Key}
+				byKey[w.Key] = g
+				groups = append(groups, g)
 			}
-			if !merged {
-				break
-			}
-			if _, ok := seen[w.Key]; !ok {
-				seen[w.Key] = struct{}{}
-				res.MergedKeys = append(res.MergedKeys, w.Key)
-			}
-		}
-		if merged {
-			codes[i] = ledger.CodeCRDTMerged
-			res.MergedTxCount++
+			op := &mergeOp{txIdx: i, w: w}
+			g.ops = append(g.ops, op)
+			flat = append(flat, flatOp{g: g, op: op})
 		}
 	}
+	return groups, flat, candidates
+}
 
-	// Second pass (Algorithm 1 lines 16–22): rewrite every merged
-	// transaction's CRDT write values with the converged documents,
-	// metadata stripped. The paper's literal algorithm converts the
-	// document anew for every transaction; SerializeOncePerKey caches it.
-	cache := make(map[string][]byte)
-	for i, tx := range block.Transactions {
-		if codes[i] != ledger.CodeCRDTMerged {
+// forEachGroup runs fn over every group, spreading groups over
+// Options.Workers goroutines when > 1. Groups are independent, so the
+// schedule cannot affect results.
+func (e *Engine) forEachGroup(groups []*keyGroup, fn func(*keyGroup)) {
+	parallel.ForEach(e.opts.Workers, groups, fn)
+}
+
+// runGroup merges one key's writes in block order. Bad deltas mark the op
+// failed and the group continues; hard failures (corrupt persisted state)
+// stop the group.
+func (e *Engine) runGroup(g *keyGroup) {
+	docs := make(map[string]*jsoncrdt.Doc, 1)
+	typed := make(map[string]*typedState, 1)
+	for _, op := range g.ops {
+		err := e.mergeWrite(docs, typed, op.w)
+		switch {
+		case err == nil:
+			op.ok = true
+		case errors.Is(err, errInvalidDelta):
+			// Bad delta: the op (and so its transaction) fails, later
+			// writes to this key still merge.
+		default:
+			g.err = err // corrupt persisted state: peer-side, hard failure
+			return
+		}
+	}
+	g.doc = docs[g.key]
+	g.typed = typed[g.key]
+}
+
+// firstMergeError returns the hard error of the earliest (block-order)
+// write whose group failed, so the surfaced error does not depend on the
+// worker schedule.
+func firstMergeError(flat []flatOp) error {
+	for _, item := range flat {
+		if item.g.err != nil {
+			return item.g.err
+		}
+	}
+	return nil
+}
+
+// finishGroup serializes one group's converged value into every merged
+// transaction's write set and marshals the post-merge states to persist.
+func (e *Engine) finishGroup(g *keyGroup, codes []ledger.ValidationCode) {
+	var cached []byte
+	for _, op := range g.ops {
+		if codes[op.txIdx] != ledger.CodeCRDTMerged {
 			continue
 		}
-		for wi := range tx.RWSet.Writes {
-			w := &tx.RWSet.Writes[wi]
-			if !w.IsCRDT {
-				continue
+		converged := cached
+		if converged == nil {
+			var err error
+			switch {
+			case g.doc != nil:
+				converged, err = json.Marshal(g.doc.ToJSON())
+			case g.typed != nil:
+				converged, err = cleanTypedValue(g.typed)
+			default:
+				err = fmt.Errorf("core: merged write for key %q has no document", g.key)
 			}
-			var converged []byte
+			if err != nil {
+				g.finishErr = fmt.Errorf("core: serializing converged value for %q: %w", g.key, err)
+				return
+			}
 			if e.opts.SerializeOncePerKey {
-				if cached, ok := cache[w.Key]; ok {
-					converged = cached
-				}
+				cached = converged
 			}
-			if converged == nil {
-				var err error
-				switch {
-				case docs[w.Key] != nil:
-					converged, err = json.Marshal(docs[w.Key].ToJSON())
-				case typed[w.Key] != nil:
-					converged, err = cleanTypedValue(typed[w.Key])
-				default:
-					err = fmt.Errorf("core: merged write for key %q has no document", w.Key)
-				}
-				if err != nil {
-					return Result{}, fmt.Errorf("core: serializing converged value for %q: %w", w.Key, err)
-				}
-				if e.opts.SerializeOncePerKey {
-					cache[w.Key] = converged
-				}
-			}
-			w.Value = converged
 		}
+		op.w.Value = converged
 	}
-
-	// Persist the post-merge classic-CRDT states: always, even in
-	// fresh-per-block mode — a state-based join is cheap and counters are
-	// meaningless without continuity.
-	for key, st := range typed {
-		state, err := crdt.Marshal(st.acc)
+	if g.typed != nil {
+		state, err := crdt.Marshal(g.typed.acc)
 		if err != nil {
-			return Result{}, fmt.Errorf("core: persisting %s state for %q: %w", st.typeName, key, err)
+			g.finishErr = fmt.Errorf("core: persisting %s state for %q: %w", g.typed.typeName, g.key, err)
+			return
 		}
-		res.TypedStates[key] = state
+		g.typedState = state
 	}
-
-	// Persist the post-merge JSON CRDT documents for cross-block seeding
+	// Persist the post-merge JSON CRDT document for cross-block seeding
 	// (skipped in the paper-literal fresh-per-block mode).
-	if e.opts.FreshDocPerBlock {
-		return res, nil
-	}
-	for key, doc := range docs {
-		state, err := doc.MarshalBinary()
+	if g.doc != nil && !e.opts.FreshDocPerBlock {
+		state, err := g.doc.MarshalBinary()
 		if err != nil {
-			return Result{}, fmt.Errorf("core: persisting document for %q: %w", key, err)
+			g.finishErr = fmt.Errorf("core: persisting document for %q: %w", g.key, err)
+			return
 		}
-		res.DocStates[key] = state
+		g.docState = state
 	}
-	return res, nil
 }
 
 // errInvalidDelta marks merge failures attributable to the transaction's
@@ -221,7 +354,9 @@ func (e *Engine) MergeBlock(block *ledger.Block, codes []ledger.ValidationCode) 
 var errInvalidDelta = errors.New("core: invalid CRDT delta")
 
 // mergeWrite routes one CRDT-flagged write to the JSON CRDT or the typed
-// classic-CRDT merge path.
+// classic-CRDT merge path. The maps are group-local: they only ever hold
+// the group's own key, so route conflicts (doc vs typed) are detected
+// exactly as they were when one block-wide map existed.
 func (e *Engine) mergeWrite(docs map[string]*jsoncrdt.Doc, typed map[string]*typedState, w *rwset.Write) error {
 	if w.CRDTType == "" {
 		if _, isTyped := typed[w.Key]; isTyped {

@@ -35,6 +35,9 @@ type Config struct {
 	EnableCRDT bool
 	// EngineOptions tunes the merge engine on every peer.
 	EngineOptions core.Options
+	// Committer tunes every peer's staged commit pipeline (validation
+	// worker pool, statedb sharding).
+	Committer peer.CommitterConfig
 }
 
 // PaperConfig returns the paper's fixed evaluation topology (§7.2) with the
@@ -102,6 +105,7 @@ func New(cfg Config) (*Network, error) {
 				ChannelID:     cfg.ChannelID,
 				EnableCRDT:    cfg.EnableCRDT,
 				EngineOptions: cfg.EngineOptions,
+				Committer:     cfg.Committer,
 			}, signer, n.msp)
 			n.peers = append(n.peers, p)
 		}

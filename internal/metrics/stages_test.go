@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageTimingsAggregates(t *testing.T) {
+	st := NewStageTimings()
+	st.Observe("endorse", 10*time.Millisecond)
+	st.Observe("merge", 30*time.Millisecond)
+	st.Observe("endorse", 20*time.Millisecond)
+	got := st.Summaries()
+	if len(got) != 2 {
+		t.Fatalf("summaries = %+v", got)
+	}
+	if got[0].Stage != "endorse" || got[1].Stage != "merge" {
+		t.Fatalf("order = %q, %q (want first-observed)", got[0].Stage, got[1].Stage)
+	}
+	e := got[0]
+	if e.Count != 2 || e.Total != 30*time.Millisecond || e.Avg != 15*time.Millisecond || e.Max != 20*time.Millisecond {
+		t.Fatalf("endorse summary = %+v", e)
+	}
+}
+
+func TestStageTimingsTime(t *testing.T) {
+	st := NewStageTimings()
+	st.Time("apply", func() { time.Sleep(time.Millisecond) })
+	s := st.Summaries()
+	if len(s) != 1 || s[0].Count != 1 || s[0].Total < time.Millisecond {
+		t.Fatalf("summaries = %+v", s)
+	}
+	if !strings.Contains(st.String(), "apply=") {
+		t.Fatalf("String() = %q", st.String())
+	}
+}
+
+func TestStageTimingsConcurrent(t *testing.T) {
+	st := NewStageTimings()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				st.Observe("endorse", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := st.Summaries(); s[0].Count != 800 {
+		t.Fatalf("count = %d, want 800", s[0].Count)
+	}
+}

@@ -1,0 +1,39 @@
+// Package parallel provides the bounded fan-out primitive the commit
+// pipeline's parallel stages share. Callers guarantee their per-item work
+// touches disjoint state; ForEach then makes the schedule irrelevant to
+// the result.
+package parallel
+
+import "sync"
+
+// ForEach runs fn over every item, spreading items across at most workers
+// goroutines. workers <= 1 (or fewer items than workers would need) runs
+// serially in slice order with no goroutines. ForEach returns when every
+// item has been processed.
+func ForEach[T any](workers int, items []T, fn func(T)) {
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for _, item := range items {
+			fn(item)
+		}
+		return
+	}
+	work := make(chan T)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for item := range work {
+				fn(item)
+			}
+		}()
+	}
+	for _, item := range items {
+		work <- item
+	}
+	close(work)
+	wg.Wait()
+}

@@ -1,0 +1,48 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachProcessesEveryItem(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 3, 8, 100} {
+		items := make([]int, 37)
+		for i := range items {
+			items[i] = i
+		}
+		var hits [37]atomic.Int32
+		ForEach(workers, items, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Fatalf("workers=%d: item %d processed %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ForEach(8, nil, func(int) { t.Fatal("called on empty input") })
+}
+
+func TestForEachSerialPreservesOrder(t *testing.T) {
+	var got []int
+	ForEach(1, []int{3, 1, 4, 1, 5}, func(v int) { got = append(got, v) })
+	want := []int{3, 1, 4, 1, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestForEachLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		ForEach(4, []int{1, 2, 3, 4, 5, 6, 7, 8}, func(int) {})
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Fatalf("goroutines grew %d -> %d", before, after)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fabriccrdt/internal/cryptoid"
 	"fabriccrdt/internal/endorse"
 	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/metrics"
 	"fabriccrdt/internal/mvcc"
 	"fabriccrdt/internal/rwset"
 	"fabriccrdt/internal/statedb"
@@ -66,8 +67,11 @@ type Config struct {
 	// behaves exactly like stock Fabric (CRDT-flagged writes validate and
 	// commit as ordinary writes).
 	EnableCRDT bool
-	// EngineOptions tunes the merge engine (ablation switches).
+	// EngineOptions tunes the merge engine (ablation switches). A zero
+	// EngineOptions.Workers inherits Committer.Workers.
 	EngineOptions core.Options
+	// Committer tunes the staged commit pipeline (see pipeline.go).
+	Committer CommitterConfig
 }
 
 // Peer errors.
@@ -102,6 +106,8 @@ type Peer struct {
 	commitMu     sync.Mutex
 	committedIDs map[string]struct{}
 
+	timings *metrics.StageTimings
+
 	eventMu   sync.RWMutex
 	listeners []chan CommitEvent
 }
@@ -109,7 +115,15 @@ type Peer struct {
 // New creates a peer with its own world state and chain, signing with the
 // given identity and trusting the given MSP roots.
 func New(cfg Config, signer *cryptoid.Signer, msp *cryptoid.MSP) *Peer {
-	db := statedb.New()
+	var db *statedb.DB
+	if cfg.Committer.StateShards > 1 {
+		db = statedb.NewSharded(cfg.Committer.StateShards)
+	} else {
+		db = statedb.New()
+	}
+	if cfg.EngineOptions.Workers == 0 {
+		cfg.EngineOptions.Workers = cfg.Committer.Workers
+	}
 	return &Peer{
 		cfg:          cfg,
 		signer:       signer,
@@ -120,6 +134,7 @@ func New(cfg Config, signer *cryptoid.Signer, msp *cryptoid.MSP) *Peer {
 		engine:       core.NewEngine(db, cfg.EngineOptions),
 		chaincodes:   make(map[string]installedCC),
 		committedIDs: make(map[string]struct{}),
+		timings:      metrics.NewStageTimings(),
 	}
 }
 
@@ -248,102 +263,6 @@ func (p *Peer) emit(ev CommitEvent) {
 	for _, ch := range p.listeners {
 		ch <- ev
 	}
-}
-
-// CommitBlock runs the validation + commit phase on a delivered block:
-// endorsement-policy validation, then the FabricCRDT merge for CRDT
-// transactions (when enabled), then MVCC validation for the rest, then an
-// atomic state update and ledger append (paper §2.1 step 3, §5.1).
-//
-// The block is serialized and re-parsed first: the committer works on the
-// peer's own copy (a real peer receives bytes from the deliver service),
-// and the pristine copy is what the hash-chained ledger stores — the merge
-// engine's write-set rewriting never invalidates the orderer's data hash.
-func (p *Peer) CommitBlock(block *ledger.Block) (CommitResult, error) {
-	raw, err := block.Marshal()
-	if err != nil {
-		return CommitResult{}, err
-	}
-	stored, err := ledger.UnmarshalBlock(raw)
-	if err != nil {
-		return CommitResult{}, err
-	}
-	view, err := ledger.UnmarshalBlock(raw)
-	if err != nil {
-		return CommitResult{}, err
-	}
-
-	p.commitMu.Lock()
-	defer p.commitMu.Unlock()
-
-	codes := make([]ledger.ValidationCode, len(view.Transactions))
-
-	// Duplicate transaction IDs: the paper's system model relies on peers
-	// to identify duplicates.
-	for i, tx := range view.Transactions {
-		if _, seen := p.committedIDs[tx.ID]; seen {
-			codes[i] = ledger.CodeDuplicate
-		}
-	}
-	// Within the block too: first occurrence wins.
-	seenInBlock := make(map[string]int, len(view.Transactions))
-	for i, tx := range view.Transactions {
-		if codes[i] != ledger.CodeNotValidated {
-			continue
-		}
-		if _, dup := seenInBlock[tx.ID]; dup {
-			codes[i] = ledger.CodeDuplicate
-			continue
-		}
-		seenInBlock[tx.ID] = i
-	}
-
-	// Endorsement validation (parallelized in Fabric; sequential here —
-	// the experiment harness models validation cost explicitly).
-	for i, tx := range view.Transactions {
-		if codes[i] != ledger.CodeNotValidated {
-			continue
-		}
-		codes[i] = p.validateEndorsements(tx)
-	}
-
-	// FabricCRDT merge path (Algorithm 1) for CRDT transactions.
-	var mergeRes core.Result
-	if p.cfg.EnableCRDT {
-		mergeRes, err = p.engine.MergeBlock(view, codes)
-		if err != nil {
-			return CommitResult{}, fmt.Errorf("peer %s: merging block %d: %w", p.cfg.Name, view.Header.Number, err)
-		}
-	}
-
-	// Stock MVCC validation for everything still undecided.
-	p.validator.ValidateBlock(view.Header.Number, view.Transactions, codes)
-
-	// Atomic commit: state writes + CRDT document states, then the ledger
-	// append of the pristine block carrying the validation codes.
-	batch := mvcc.BuildCommitBatch(view.Header.Number, view.Transactions, codes)
-	core.StageDocStates(batch, mergeRes)
-	p.db.Apply(batch, rwset.Version{BlockNum: view.Header.Number})
-
-	stored.Metadata.ValidationCodes = codes
-	if err := p.chain.Append(stored); err != nil {
-		return CommitResult{}, fmt.Errorf("peer %s: appending block %d: %w", p.cfg.Name, view.Header.Number, err)
-	}
-
-	committed := 0
-	for i, tx := range view.Transactions {
-		if codes[i].Committed() {
-			committed++
-		}
-		p.committedIDs[tx.ID] = struct{}{}
-		p.emit(CommitEvent{TxID: tx.ID, BlockNum: view.Header.Number, Code: codes[i]})
-	}
-	return CommitResult{
-		BlockNum:    view.Header.Number,
-		Codes:       codes,
-		MergedKeys:  mergeRes.MergedKeys,
-		CommittedTx: committed,
-	}, nil
 }
 
 // validateEndorsements checks the signatures and endorsement policy of one

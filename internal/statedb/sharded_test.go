@@ -1,0 +1,191 @@
+package statedb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"fabriccrdt/internal/rwset"
+)
+
+// TestShardedMatchesTrivialBackend drives both backends through the same
+// randomized batch sequence and requires identical observable state.
+func TestShardedMatchesTrivialBackend(t *testing.T) {
+	trivial := New()
+	sharded := NewSharded(8)
+	rng := rand.New(rand.NewSource(7))
+	for blk := uint64(1); blk <= 50; blk++ {
+		batch := NewUpdateBatch()
+		for i := 0; i < 20; i++ {
+			key := fmt.Sprintf("k%d", rng.Intn(40))
+			switch rng.Intn(3) {
+			case 0:
+				batch.Delete(key, rwset.Version{BlockNum: blk})
+			case 1:
+				batch.Put(key, []byte(fmt.Sprintf("v%d-%d", blk, i)), rwset.Version{BlockNum: blk, TxNum: uint64(i)})
+			case 2:
+				batch.PutMeta("crdt/"+key, []byte(fmt.Sprintf("m%d", blk)))
+			}
+		}
+		trivial.Apply(batch, rwset.Version{BlockNum: blk})
+		sharded.Apply(batch, rwset.Version{BlockNum: blk})
+	}
+	if a, b := trivial.GetRange("", ""), sharded.GetRange("", ""); !reflect.DeepEqual(a, b) {
+		t.Fatalf("full range diverged:\ntrivial %v\nsharded %v", a, b)
+	}
+	if a, b := trivial.GetRange("k1", "k3"), sharded.GetRange("k1", "k3"); !reflect.DeepEqual(a, b) {
+		t.Fatalf("sub range diverged:\ntrivial %v\nsharded %v", a, b)
+	}
+	if trivial.KeyCount() != sharded.KeyCount() {
+		t.Fatalf("key counts diverged: %d vs %d", trivial.KeyCount(), sharded.KeyCount())
+	}
+	if trivial.Height() != sharded.Height() {
+		t.Fatalf("heights diverged")
+	}
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("k%d", i)
+		av, aok := trivial.Get(key)
+		bv, bok := sharded.Get(key)
+		if aok != bok || !bytes.Equal(av.Value, bv.Value) || av.Version != bv.Version {
+			t.Errorf("Get(%q) diverged: %+v/%v vs %+v/%v", key, av, aok, bv, bok)
+		}
+		if !bytes.Equal(trivial.GetMeta("crdt/"+key), sharded.GetMeta("crdt/"+key)) {
+			t.Errorf("GetMeta(%q) diverged", key)
+		}
+	}
+}
+
+func TestShardedReset(t *testing.T) {
+	db := NewSharded(4)
+	batch := NewUpdateBatch()
+	batch.Put("k", []byte("v"), rwset.Version{BlockNum: 1})
+	batch.PutMeta("m", []byte("x"))
+	db.Apply(batch, rwset.Version{BlockNum: 1})
+	db.Reset()
+	if db.KeyCount() != 0 || db.GetMeta("m") != nil || !db.Height().IsZero() {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestShardedTinyShardCountFallsBack(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		db := NewSharded(n)
+		batch := NewUpdateBatch()
+		batch.Put("k", []byte("v"), rwset.Version{BlockNum: 1})
+		db.Apply(batch, rwset.Version{BlockNum: 1})
+		if _, ok := db.Get("k"); !ok {
+			t.Fatalf("NewSharded(%d) unusable", n)
+		}
+	}
+}
+
+// TestShardedConcurrentReadsDuringCommit mirrors the trivial backend's
+// concurrency test: reads must never race with batch applies.
+func TestShardedConcurrentReadsDuringCommit(t *testing.T) {
+	db := NewSharded(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := NewUpdateBatch()
+				for k := 0; k < 8; k++ {
+					b.Put(fmt.Sprintf("k%d", k), []byte{byte(worker)}, rwset.Version{BlockNum: uint64(i)})
+				}
+				db.Apply(b, rwset.Version{BlockNum: uint64(i)})
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				db.Get("k1")
+				db.Version("k2")
+				db.Height()
+				db.GetRange("", "")
+				db.KeyCount()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestShardedRangeSeesNoTornCommit hammers Apply (every batch rewrites all
+// keys to one tag) against concurrent full-range scans: every scan must see
+// all keys carrying the same tag — never a half-applied batch.
+func TestShardedRangeSeesNoTornCommit(t *testing.T) {
+	db := NewSharded(8)
+	const keys = 32
+	seed := NewUpdateBatch()
+	for k := 0; k < keys; k++ {
+		seed.Put(fmt.Sprintf("k%02d", k), []byte("tag0"), rwset.Version{BlockNum: 1})
+	}
+	db.Apply(seed, rwset.Version{BlockNum: 1})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for blk := uint64(2); blk < 300; blk++ {
+			batch := NewUpdateBatch()
+			tag := []byte(fmt.Sprintf("tag%d", blk))
+			for k := 0; k < keys; k++ {
+				batch.Put(fmt.Sprintf("k%02d", k), tag, rwset.Version{BlockNum: blk})
+			}
+			db.Apply(batch, rwset.Version{BlockNum: blk})
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		kvs := db.GetRange("", "")
+		if len(kvs) != keys {
+			t.Fatalf("scan saw %d keys, want %d", len(kvs), keys)
+		}
+		for _, kv := range kvs[1:] {
+			if !bytes.Equal(kv.Value, kvs[0].Value) {
+				t.Fatalf("torn scan: %s=%s but %s=%s", kvs[0].Key, kvs[0].Value, kv.Key, kv.Value)
+			}
+		}
+	}
+}
+
+func BenchmarkBackendContention(b *testing.B) {
+	for _, backend := range []struct {
+		name string
+		db   *DB
+	}{
+		{"trivial", New()},
+		{"sharded-16", NewSharded(16)},
+	} {
+		b.Run(backend.name, func(b *testing.B) {
+			db := backend.db
+			seed := NewUpdateBatch()
+			for i := 0; i < 1024; i++ {
+				seed.Put(fmt.Sprintf("k%d", i), []byte("v"), rwset.Version{BlockNum: 1})
+			}
+			db.Apply(seed, rwset.Version{BlockNum: 1})
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					i++
+					if i%16 == 0 {
+						batch := NewUpdateBatch()
+						batch.Put(fmt.Sprintf("k%d", i%1024), []byte("w"), rwset.Version{BlockNum: 2})
+						db.Apply(batch, rwset.Version{BlockNum: 2})
+						continue
+					}
+					db.Get(fmt.Sprintf("k%d", (i*31)%1024))
+				}
+			})
+		})
+	}
+}

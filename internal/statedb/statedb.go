@@ -6,6 +6,10 @@
 //
 // A separate metadata space holds FabricCRDT's persisted JSON CRDT document
 // states, keeping CRDT bookkeeping invisible to chaincode reads.
+//
+// Storage lives behind the Backend interface: New returns the trivial
+// single-lock map backend, NewSharded a backend with per-shard locks so
+// endorsement reads stop contending with commit writes (DESIGN.md §4).
 package statedb
 
 import (
@@ -24,49 +28,53 @@ type VersionedValue struct {
 // DB is one peer's world state. It is safe for concurrent use: endorsement
 // reads proceed while block commits write.
 type DB struct {
-	mu   sync.RWMutex
-	data map[string]VersionedValue
-	meta map[string][]byte
-	// height is the version of the last committed block.
-	height rwset.Version
+	backend Backend
+
+	// height is the version of the last committed block, tracked here so
+	// every backend gets it for free.
+	heightMu sync.RWMutex
+	height   rwset.Version
 }
 
-// New returns an empty world state.
+// New returns an empty world state on the trivial single-lock backend.
 func New() *DB {
-	return &DB{
-		data: make(map[string]VersionedValue),
-		meta: make(map[string][]byte),
-	}
+	return &DB{backend: newMapBackend()}
+}
+
+// NewSharded returns an empty world state on a backend with the given
+// number of independently locked shards (values < 2 fall back to 2).
+func NewSharded(shards int) *DB {
+	return &DB{backend: newShardedBackend(shards)}
+}
+
+// NewWithBackend returns a world state over a caller-provided backend
+// (e.g. a future persistent store).
+func NewWithBackend(b Backend) *DB {
+	return &DB{backend: b}
 }
 
 // Get returns the value stored at key.
 func (db *DB) Get(key string) (VersionedValue, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	vv, ok := db.data[key]
-	return vv, ok
+	return db.backend.Get(key)
 }
 
 // Version returns the commit version of key, or the zero Version when the
 // key is absent — precisely what a chaincode read records into the read set.
 func (db *DB) Version(key string) rwset.Version {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.data[key].Version
+	vv, _ := db.backend.Get(key)
+	return vv.Version
 }
 
 // Height returns the version of the most recent commit.
 func (db *DB) Height() rwset.Version {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.heightMu.RLock()
+	defer db.heightMu.RUnlock()
 	return db.height
 }
 
 // KeyCount returns the number of live keys.
 func (db *DB) KeyCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.data)
+	return db.backend.KeyCount()
 }
 
 // Update is one key mutation within a batch.
@@ -110,28 +118,17 @@ func (b *UpdateBatch) PutMeta(key string, value []byte) {
 // Len returns the number of staged key mutations.
 func (b *UpdateBatch) Len() int { return len(b.updates) }
 
-// Apply commits the batch atomically, advancing the DB height.
+// Apply commits the batch, advancing the DB height.
 func (db *DB) Apply(batch *UpdateBatch, height rwset.Version) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	for key, u := range batch.updates {
-		if u.IsDelete {
-			delete(db.data, key)
-			continue
-		}
-		db.data[key] = VersionedValue{Value: u.Value, Version: u.Version}
-	}
-	for key, v := range batch.metaPut {
-		db.meta[key] = v
-	}
+	db.backend.Apply(batch.updates, batch.metaPut)
+	db.heightMu.Lock()
 	db.height = height
+	db.heightMu.Unlock()
 }
 
 // GetMeta returns a metadata value (nil when absent).
 func (db *DB) GetMeta(key string) []byte {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.meta[key]
+	return db.backend.GetMeta(key)
 }
 
 // KV is a key with its stored value, returned by range scans.
@@ -144,28 +141,19 @@ type KV struct {
 // means "to the last key". It stands in for CouchDB range queries used by
 // chaincodes.
 func (db *DB) GetRange(start, end string) []KV {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	keys := make([]string, 0, len(db.data))
-	for k := range db.data {
-		if k >= start && (end == "" || k < end) {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
-	out := make([]KV, len(keys))
-	for i, k := range keys {
-		out[i] = KV{Key: k, VersionedValue: db.data[k]}
-	}
-	return out
+	return db.backend.Range(start, end)
 }
 
 // Reset drops all contents; used when a peer rebuilds state by replaying
 // the blockchain.
 func (db *DB) Reset() {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.data = make(map[string]VersionedValue)
-	db.meta = make(map[string][]byte)
+	db.backend.Reset()
+	db.heightMu.Lock()
 	db.height = rwset.Version{}
+	db.heightMu.Unlock()
+}
+
+// sortKVs orders range-scan results by key.
+func sortKVs(kvs []KV) {
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
 }
