@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race bench bench-smoke
 
 ci: fmt vet build race
 
@@ -24,4 +24,10 @@ race:
 
 # Commit-pipeline benchmark; refreshes BENCH_commit.json.
 bench:
-	$(GO) test -run xxx -bench BenchmarkCommitPipeline -benchtime=20x .
+	$(GO) test -run xxx -bench 'BenchmarkCommitPipeline|BenchmarkCommitBackends' -benchtime=20x .
+
+# One quick pass of the commit benchmark per state backend (memory,
+# sharded, disk) plus the worker sweep — enough for CI to refresh and
+# archive BENCH_commit.json without a long benchmark run.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkCommitPipeline|BenchmarkCommitBackends' -benchtime=3x .

@@ -8,6 +8,10 @@
 //	fabricnet                    # FabricCRDT, 500 txs at 200 tx/s
 //	fabricnet -crdt=false        # stock Fabric (watch transactions fail)
 //	fabricnet -txs 2000 -rate 400 -block 50 -clients 8
+//	fabricnet -backend disk -datadir ./net-state    # persistent peers
+//
+// With -backend disk, rerunning with the same -datadir restores every
+// peer's world state and resumes from the recorded block height.
 package main
 
 import (
@@ -34,13 +38,33 @@ func main() {
 		device     = flag.String("device", "device-hot-0", "shared device key all transactions update")
 		workers    = flag.Int("workers", 1, "commit-pipeline workers per peer (endorsement validation + CRDT merge)")
 		shards     = flag.Int("shards", 1, "state database shards per peer (1 = single-lock map)")
+		backend    = flag.String("backend", "", "state backend per peer: memory|sharded|disk (default: memory, or sharded when -shards > 1)")
+		datadir    = flag.String("datadir", "", "data directory for -backend disk (one subdirectory per peer)")
 		timings    = flag.Bool("timings", false, "print per-stage commit latencies per peer")
 	)
 	flag.Parse()
 
+	switch *backend {
+	case "", fabriccrdt.BackendMemory, fabriccrdt.BackendSharded:
+		if *datadir != "" {
+			fatal(fmt.Errorf("-datadir is only used with -backend disk; nothing would be persisted"))
+		}
+	case fabriccrdt.BackendDisk:
+		if *datadir == "" {
+			fatal(fmt.Errorf("-backend disk requires -datadir"))
+		}
+	default:
+		fatal(fmt.Errorf("unknown -backend %q (want memory, sharded or disk)", *backend))
+	}
+
 	cfg := fabriccrdt.PaperTopology(*blockSize, *enableCRDT)
 	cfg.Orderer.BatchTimeout = 2 * time.Second
-	cfg.Committer = fabriccrdt.CommitterConfig{Workers: *workers, StateShards: *shards}
+	cfg.Committer = fabriccrdt.CommitterConfig{
+		Workers:     *workers,
+		StateShards: *shards,
+		Backend:     *backend,
+		DataDir:     *datadir,
+	}
 	net, err := fabriccrdt.NewNetwork(cfg)
 	if err != nil {
 		fatal(err)
@@ -57,6 +81,10 @@ func main() {
 	}
 	fmt.Printf("%s network: 3 orgs x 2 peers, block size %d, %d clients, %d txs at %.0f tx/s\n",
 		mode, *blockSize, *clients, *totalTx, *rate)
+	if h := net.Peers()[0].Height(); h > 0 {
+		fmt.Printf("resumed from %s: persisted state at block height %d, new blocks continue from %d\n",
+			*datadir, h, h+1)
+	}
 
 	orgs := []string{"Org1", "Org2", "Org3"}
 	cls := make([]*fabriccrdt.Client, *clients)

@@ -77,10 +77,13 @@ func (f *commitFixture) newPeer(b *testing.B, committer peer.CommitterConfig) *p
 	if err != nil {
 		b.Fatal(err)
 	}
-	p := peer.New(peer.Config{
+	p, err := peer.New(peer.Config{
 		Name: name, MSPID: "Org1", ChannelID: "bench",
 		EnableCRDT: f.enableCRDT, Committer: committer,
 	}, signer, f.msp)
+	if err != nil {
+		b.Fatal(err)
+	}
 	p.InstallChaincode("bench", benchChaincode(), f.policy)
 	return p
 }
@@ -119,7 +122,10 @@ func (f *commitFixture) endorsedBlock(b *testing.B, n int) *ledger.Block {
 
 // commitBenchEntry is one BENCH_commit.json record.
 type commitBenchEntry struct {
-	CRDT       bool    `json:"crdt"`
+	CRDT    bool   `json:"crdt"`
+	Backend string `json:"backend"`
+	// Shards is the sharded backend's shard count (0 for other backends).
+	Shards     int     `json:"shards,omitempty"`
 	BlockTxs   int     `json:"block_txs"`
 	Workers    int     `json:"workers"`
 	NsPerBlock int64   `json:"ns_per_block"`
@@ -138,7 +144,7 @@ func recordCommitBench(b *testing.B, e commitBenchEntry) {
 	b.Helper()
 	commitBenchMu.Lock()
 	defer commitBenchMu.Unlock()
-	commitBenchResults[fmt.Sprintf("%v/%d/%d", e.CRDT, e.BlockTxs, e.Workers)] = e
+	commitBenchResults[fmt.Sprintf("%v/%s/%d/%d/%d", e.CRDT, e.Backend, e.Shards, e.BlockTxs, e.Workers)] = e
 	entries := make([]commitBenchEntry, 0, len(commitBenchResults))
 	for _, v := range commitBenchResults {
 		entries = append(entries, v)
@@ -147,6 +153,12 @@ func recordCommitBench(b *testing.B, e commitBenchEntry) {
 		a, c := entries[i], entries[j]
 		if a.CRDT != c.CRDT {
 			return a.CRDT
+		}
+		if a.Backend != c.Backend {
+			return a.Backend < c.Backend
+		}
+		if a.Shards != c.Shards {
+			return a.Shards < c.Shards
 		}
 		if a.BlockTxs != c.BlockTxs {
 			return a.BlockTxs < c.BlockTxs
@@ -202,12 +214,74 @@ func BenchmarkCommitPipeline(b *testing.B) {
 					for _, s := range lastPeer.CommitTimings() {
 						b.ReportMetric(float64(s.Avg.Nanoseconds()), s.Stage+"_ns")
 					}
+					backendName, shards := peer.BackendMemory, 0
+					if workers > 1 {
+						backendName, shards = peer.BackendSharded, workers // legacy auto-selection
+					}
 					recordCommitBench(b, commitBenchEntry{
-						CRDT: enableCRDT, BlockTxs: blockTxs, Workers: workers,
+						CRDT: enableCRDT, Backend: backendName, Shards: shards, BlockTxs: blockTxs, Workers: workers,
 						NsPerBlock: nsPerBlock, TxPerSec: txPerSec,
 					})
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkCommitBackends measures the same staged pipeline with each
+// state backend behind it — the cost of durability (disk) and the payoff
+// of shard-level locking vs the single-lock map. CRDT on, 100-transaction
+// blocks, 4 workers; one fresh peer (and, for disk, a fresh data
+// directory) per iteration so the log starts empty every time.
+func BenchmarkCommitBackends(b *testing.B) {
+	const blockTxs, workers = 100, 4
+	fix := newCommitFixture(b, true)
+	block := fix.endorsedBlock(b, blockTxs)
+	backends := []struct {
+		name   string
+		shards int
+		cfg    func(b *testing.B) peer.CommitterConfig
+	}{
+		{peer.BackendMemory, 0, func(b *testing.B) peer.CommitterConfig {
+			return peer.CommitterConfig{Workers: workers, Backend: peer.BackendMemory}
+		}},
+		{peer.BackendSharded, 8, func(b *testing.B) peer.CommitterConfig {
+			return peer.CommitterConfig{Workers: workers, Backend: peer.BackendSharded, StateShards: 8}
+		}},
+		{peer.BackendDisk, 0, func(b *testing.B) peer.CommitterConfig {
+			return peer.CommitterConfig{Workers: workers, Backend: peer.BackendDisk, DataDir: b.TempDir()}
+		}},
+	}
+	for _, backend := range backends {
+		b.Run(fmt.Sprintf("backend=%s", backend.name), func(b *testing.B) {
+			var total time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p := fix.newPeer(b, backend.cfg(b))
+				b.StartTimer()
+				start := time.Now()
+				res, err := p.CommitBlock(block)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += time.Since(start)
+				b.StopTimer()
+				if err := p.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if res.CommittedTx != blockTxs {
+					b.Fatalf("committed %d/%d", res.CommittedTx, blockTxs)
+				}
+				b.StartTimer()
+			}
+			nsPerBlock := total.Nanoseconds() / int64(b.N)
+			txPerSec := float64(blockTxs) / (float64(nsPerBlock) / 1e9)
+			b.ReportMetric(txPerSec, "tx/s")
+			recordCommitBench(b, commitBenchEntry{
+				CRDT: true, Backend: backend.name, Shards: backend.shards, BlockTxs: blockTxs, Workers: workers,
+				NsPerBlock: nsPerBlock, TxPerSec: txPerSec,
+			})
+		})
 	}
 }

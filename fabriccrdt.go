@@ -49,13 +49,28 @@ type (
 	EngineOptions = core.Options
 	// CommitterConfig tunes every peer's staged commit pipeline: the
 	// endorsement-validation worker pool, the merge engine's key-group
-	// parallelism and the statedb shard count. The zero value is fully
-	// serial on the single-lock backend; any Workers setting produces
-	// identical commit results.
+	// parallelism, and the world-state backend (Backend/StateShards/
+	// DataDir — see the Backend* constants). The zero value is fully
+	// serial on the single-lock in-memory backend; any Workers setting
+	// produces identical commit results.
 	CommitterConfig = peer.CommitterConfig
 	// CommitStageSummary aggregates one commit-pipeline stage's latencies,
 	// as returned by Peer.CommitTimings.
 	CommitStageSummary = metrics.StageSummary
+)
+
+// World-state backend names for CommitterConfig.Backend.
+const (
+	// BackendMemory is the single-lock in-memory map (the default).
+	BackendMemory = peer.BackendMemory
+	// BackendSharded spreads keys over CommitterConfig.StateShards
+	// independently locked in-memory shards.
+	BackendSharded = peer.BackendSharded
+	// BackendDisk persists the world state under CommitterConfig.DataDir
+	// (append-only log + snapshot): peers restarted over the same
+	// directory resume from the recorded block height instead of
+	// replaying the chain.
+	BackendDisk = peer.BackendDisk
 )
 
 // NewNetwork builds a network: per-org CAs, peers, an ordering service and

@@ -6,7 +6,9 @@
 package client
 
 import (
+	"crypto/rand"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -49,6 +51,12 @@ type Client struct {
 	orderer   Broadcaster
 
 	nonce atomic.Uint64
+	// txSalt makes transaction IDs unique per client *instance*: two
+	// processes (or one restarted process) recreating a client with the
+	// same identity must not re-derive the IDs of already-committed
+	// transactions — peers durably screen duplicates. Mirrors the random
+	// nonce Fabric clients put into every proposal.
+	txSalt string
 
 	mu      sync.Mutex
 	waiters map[string]chan peer.CommitEvent
@@ -59,11 +67,18 @@ type Client struct {
 // New creates a client for the given channel submitting through the given
 // endorsers and orderer.
 func New(signer *cryptoid.Signer, channelID string, endorsers []Endorser, orderer Broadcaster) *Client {
+	var salt [8]byte
+	if _, err := rand.Read(salt[:]); err != nil {
+		// crypto/rand is effectively infallible; fall back to a timestamp
+		// rather than silently reusing a fixed salt.
+		binary.LittleEndian.PutUint64(salt[:], uint64(time.Now().UnixNano()))
+	}
 	return &Client{
 		signer:    signer,
 		channelID: channelID,
 		endorsers: endorsers,
 		orderer:   orderer,
+		txSalt:    hex.EncodeToString(salt[:]),
 		waiters:   make(map[string]chan peer.CommitEvent),
 	}
 }
@@ -106,11 +121,12 @@ func (c *Client) WaitListenerDone() {
 	}
 }
 
-// NewTxID derives a unique transaction ID from the client identity and a
-// monotonic nonce, as Fabric does from (creator, nonce).
+// NewTxID derives a unique transaction ID from the client identity, the
+// instance salt and a monotonic nonce, as Fabric does from (creator,
+// random nonce).
 func (c *Client) NewTxID() string {
 	n := c.nonce.Add(1)
-	h := sha256.Sum256([]byte(fmt.Sprintf("%s/%s/%d", c.signer.MSPID, c.signer.Name, n)))
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s/%s/%s/%d", c.signer.MSPID, c.signer.Name, c.txSalt, n)))
 	return hex.EncodeToString(h[:16])
 }
 

@@ -3,11 +3,18 @@
 // topology (§7.2: three organizations, two peers each, one orderer, one
 // channel) and wires the live delivery pipeline: orderer deliver channels
 // feed each peer's committer goroutine.
+//
+// The deliver loop needs no restart special-casing: a peer whose world
+// state already covers a delivered block (Peer.Height at or above the
+// block number — a disk-backed peer rebuilt over its data directory)
+// fast-forwards it inside CommitBlock instead of re-validating it.
 package fabricnet
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"fabriccrdt/internal/chaincode"
@@ -36,7 +43,11 @@ type Config struct {
 	// EngineOptions tunes the merge engine on every peer.
 	EngineOptions core.Options
 	// Committer tunes every peer's staged commit pipeline (validation
-	// worker pool, statedb sharding).
+	// worker pool, statedb backend selection and sharding). With
+	// Backend == peer.BackendDisk, Committer.DataDir is the shared root
+	// directory; each peer persists under DataDir/<peer-name>, so
+	// rebuilding a network over the same root restores every peer's world
+	// state and resume height.
 	Committer peer.CommitterConfig
 }
 
@@ -99,18 +110,42 @@ func New(cfg Config) (*Network, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fabricnet: issuing identity for %s: %w", name, err)
 			}
-			p := peer.New(peer.Config{
+			committer := cfg.Committer
+			if committer.Backend == peer.BackendDisk && committer.DataDir != "" {
+				// Each peer owns a private store under the shared root —
+				// one DataDir knob configures the whole network.
+				committer.DataDir = filepath.Join(cfg.Committer.DataDir, name)
+			}
+			p, err := peer.New(peer.Config{
 				Name:          name,
 				MSPID:         org.MSPID,
 				ChannelID:     cfg.ChannelID,
 				EnableCRDT:    cfg.EnableCRDT,
 				EngineOptions: cfg.EngineOptions,
-				Committer:     cfg.Committer,
+				Committer:     committer,
 			}, signer, n.msp)
+			if err != nil {
+				n.closePeers()
+				return nil, fmt.Errorf("fabricnet: %w", err)
+			}
 			n.peers = append(n.peers, p)
 		}
 	}
-	n.orderer = orderer.NewService(cfg.Orderer, n.peers[0].Genesis())
+	// The ordering service chains onto the peers' common resume point: the
+	// genesis block for a fresh network, or the durable chain checkpoint
+	// when every peer was rebuilt over an existing data directory. Peers
+	// resuming at different heights cannot be reconciled here (the orderer
+	// holds no history to catch stragglers up with), so that is an error.
+	lastNum, lastHash := n.peers[0].Chain().LastRef()
+	for _, p := range n.peers[1:] {
+		num, hash := p.Chain().LastRef()
+		if num != lastNum || !bytes.Equal(hash, lastHash) {
+			n.closePeers()
+			return nil, fmt.Errorf("fabricnet: peers resume from diverging histories (%s at block %d hash %x, %s at block %d hash %x): remove the data directory or sync the stores",
+				n.peers[0].Name(), lastNum, lastHash, p.Name(), num, hash)
+		}
+	}
+	n.orderer = orderer.NewServiceAt(cfg.Orderer, lastNum, lastHash)
 	return n, nil
 }
 
@@ -189,7 +224,8 @@ func (n *Network) Err() error {
 }
 
 // Stop flushes the orderer, waits for all peers to drain their deliver
-// channels, and closes peer event streams.
+// channels, closes peer event streams and releases peer state backends
+// (flushing disk-backed world states).
 func (n *Network) Stop() {
 	n.mu.Lock()
 	if !n.started || n.stopped {
@@ -202,6 +238,17 @@ func (n *Network) Stop() {
 	n.wg.Wait()
 	for _, p := range n.peers {
 		p.CloseEvents()
+	}
+	n.closePeers()
+}
+
+// closePeers releases every peer's state backend, recording the first
+// failure (a disk backend surfaces deferred write errors on close).
+func (n *Network) closePeers() {
+	for _, p := range n.peers {
+		if err := p.Close(); err != nil {
+			n.recordError(fmt.Errorf("peer %s: closing state backend: %w", p.Name(), err))
+		}
 	}
 }
 

@@ -50,9 +50,12 @@ func TestLatePeerSyncsFromRunningPeer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	late := peer.New(peer.Config{
+	late, err := peer.New(peer.Config{
 		Name: "Org1.late", MSPID: "Org1", ChannelID: "channel1", EnableCRDT: true,
 	}, signer, n.msp)
+	if err != nil {
+		t.Fatal(err)
+	}
 	late.InstallChaincode("iot", iotCC(), endorse.MustParse(testPolicy))
 
 	if err := late.SyncFrom(source); err != nil {

@@ -2,6 +2,11 @@
 // blocks with a SHA-256 hash chain, per-transaction validation flags, and an
 // append-only block store (paper §2.1: "the peer's ledger consists of an
 // append-only blockchain and a world state database").
+//
+// A Chain normally grows from the channel genesis block; a peer restored
+// from a durable state checkpoint instead resumes an empty chain after a
+// recorded (block number, header hash) pair (NewChainCheckpointed), with
+// every later append still hash-verified against it.
 package ledger
 
 import (
@@ -207,9 +212,24 @@ var (
 
 // Chain is an append-only block store with hash-chain verification on
 // append. It is safe for concurrent use.
+//
+// A chain normally starts at the genesis block. A chain restored from a
+// checkpoint (NewChainCheckpointed) starts empty after a known (number,
+// header hash) pair instead: block bodies before the checkpoint are not
+// available locally — the durable world state already reflects them — but
+// every later append is still hash-verified against the checkpoint.
 type Chain struct {
 	mu     sync.RWMutex
 	blocks []*Block
+	// base is the number of blocks[0] (0 for a genesis chain).
+	base uint64
+	// nextNumber/nextPrevHash are what the next appended block must carry.
+	nextNumber   uint64
+	nextPrevHash []byte
+	// checkpointHash is the header hash of block base-1 when the chain was
+	// restored from a checkpoint (checkpointed true).
+	checkpointHash []byte
+	checkpointed   bool
 }
 
 // NewChain returns a chain containing only the genesis block for the given
@@ -225,42 +245,93 @@ func NewChain(channelID string) *Chain {
 		Metadata: BlockMetadata{ValidationCodes: []ValidationCode{CodeValid}},
 	}
 	genesis.Header.DataHash, _ = ComputeDataHash(genesis.Transactions)
-	return &Chain{blocks: []*Block{genesis}}
+	return &Chain{
+		blocks:       []*Block{genesis},
+		nextNumber:   1,
+		nextPrevHash: genesis.HeaderHash(),
+	}
 }
 
-// Height returns the number of blocks (genesis included).
+// NewChainCheckpointed returns a chain resuming after block lastNumber,
+// whose header hash the next block's PrevHash must match. It holds no
+// block bodies for the pre-checkpoint history.
+func NewChainCheckpointed(lastNumber uint64, lastHash []byte) *Chain {
+	return &Chain{
+		base:           lastNumber + 1,
+		nextNumber:     lastNumber + 1,
+		nextPrevHash:   lastHash,
+		checkpointHash: lastHash,
+		checkpointed:   true,
+	}
+}
+
+// Checkpoint returns the (number, header hash) the chain was restored
+// from, if it was created by NewChainCheckpointed.
+func (c *Chain) Checkpoint() (number uint64, headerHash []byte, ok bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !c.checkpointed {
+		return 0, nil, false
+	}
+	return c.base - 1, c.checkpointHash, true
+}
+
+// Height returns the number of blocks committed to the chain, genesis and
+// any pre-checkpoint history included — i.e. the next expected block
+// number.
 func (c *Chain) Height() uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return uint64(len(c.blocks))
+	return c.nextNumber
 }
 
-// Last returns the most recent block.
+// FirstNumber returns the number of the earliest locally stored block: 0
+// for a genesis chain, the checkpoint successor for a checkpointed chain.
+func (c *Chain) FirstNumber() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.base
+}
+
+// Last returns the most recent block, or nil for a checkpointed chain that
+// has not appended any block yet.
 func (c *Chain) Last() *Block {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if len(c.blocks) == 0 {
+		return nil
+	}
 	return c.blocks[len(c.blocks)-1]
 }
 
-// Get returns block number n.
+// LastRef returns the (number, header hash) pair the next appended block
+// must chain onto. Unlike Last it works on an empty checkpointed chain,
+// where it returns the checkpoint itself.
+func (c *Chain) LastRef() (number uint64, headerHash []byte) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nextNumber - 1, c.nextPrevHash
+}
+
+// Get returns block number n. Blocks before a checkpoint are not locally
+// stored and report ErrBlockNotFound.
 func (c *Chain) Get(n uint64) (*Block, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	if n >= uint64(len(c.blocks)) {
-		return nil, fmt.Errorf("%w: %d (height %d)", ErrBlockNotFound, n, len(c.blocks))
+	if n < c.base || n >= c.nextNumber {
+		return nil, fmt.Errorf("%w: %d (stored range [%d, %d))", ErrBlockNotFound, n, c.base, c.nextNumber)
 	}
-	return c.blocks[n], nil
+	return c.blocks[n-c.base], nil
 }
 
 // Append verifies the hash chain and appends the block.
 func (c *Chain) Append(b *Block) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	last := c.blocks[len(c.blocks)-1]
-	if b.Header.Number != last.Header.Number+1 {
-		return fmt.Errorf("%w: got %d, want %d", ErrBadNumber, b.Header.Number, last.Header.Number+1)
+	if b.Header.Number != c.nextNumber {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadNumber, b.Header.Number, c.nextNumber)
 	}
-	if !hashEqual(b.Header.PrevHash, last.HeaderHash()) {
+	if !hashEqual(b.Header.PrevHash, c.nextPrevHash) {
 		return fmt.Errorf("%w: block %d", ErrBadPrevHash, b.Header.Number)
 	}
 	dataHash, err := ComputeDataHash(b.Transactions)
@@ -271,13 +342,35 @@ func (c *Chain) Append(b *Block) error {
 		return fmt.Errorf("%w: block %d", ErrBadDataHash, b.Header.Number)
 	}
 	c.blocks = append(c.blocks, b)
+	c.nextNumber++
+	c.nextPrevHash = b.HeaderHash()
 	return nil
 }
 
-// Verify re-checks the whole hash chain, returning the first inconsistency.
+// Verify re-checks the whole locally stored hash chain — including the
+// first stored block's number and, on a checkpointed chain, its linkage to
+// the recorded checkpoint hash — returning the first inconsistency.
+// Pre-checkpoint history is not re-checkable (it is not stored) but every
+// stored block was append-time-verified against the checkpoint.
 func (c *Chain) Verify() error {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if len(c.blocks) > 0 {
+		first := c.blocks[0]
+		if first.Header.Number != c.base {
+			return fmt.Errorf("%w: first stored block is %d, want %d", ErrBadNumber, first.Header.Number, c.base)
+		}
+		if c.checkpointed && !hashEqual(first.Header.PrevHash, c.checkpointHash) {
+			return fmt.Errorf("%w: block %d does not chain onto the checkpoint", ErrBadPrevHash, first.Header.Number)
+		}
+		dataHash, err := ComputeDataHash(first.Transactions)
+		if err != nil {
+			return err
+		}
+		if !hashEqual(first.Header.DataHash, dataHash) {
+			return fmt.Errorf("%w: block %d", ErrBadDataHash, first.Header.Number)
+		}
+	}
 	for i := 1; i < len(c.blocks); i++ {
 		b, prev := c.blocks[i], c.blocks[i-1]
 		if b.Header.Number != prev.Header.Number+1 {
@@ -297,8 +390,9 @@ func (c *Chain) Verify() error {
 	return nil
 }
 
-// Blocks returns a snapshot of all blocks in order (genesis first); the
-// slice is fresh, the block pointers are shared.
+// Blocks returns a snapshot of all locally stored blocks in order (genesis
+// first, unless the chain was restored from a checkpoint); the slice is
+// fresh, the block pointers are shared.
 func (c *Chain) Blocks() []*Block {
 	c.mu.RLock()
 	defer c.mu.RUnlock()

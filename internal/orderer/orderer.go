@@ -4,6 +4,11 @@
 // message count, byte size and timeout (paper §3: "the ordering service
 // creates a block based on several criteria, including the maximum number
 // of transactions, the maximum total size … and a timeout period").
+//
+// A service normally chains blocks after the channel genesis block
+// (NewService); a network resuming from durable peer state instead chains
+// after the recorded checkpoint (NewServiceAt), continuing the committed
+// block numbering rather than restarting at 1.
 package orderer
 
 import (
@@ -151,9 +156,17 @@ type Assembler struct {
 // NewAssembler returns an assembler chaining onto the given block (usually
 // the channel's genesis block).
 func NewAssembler(after *ledger.Block) *Assembler {
+	return NewAssemblerAt(after.Header.Number, after.HeaderHash())
+}
+
+// NewAssemblerAt returns an assembler chaining onto the block identified
+// by (number, header hash) — the resume path when the ordering service is
+// rebuilt over peers restored from a durable state checkpoint, where the
+// block body itself is no longer available.
+func NewAssemblerAt(afterNumber uint64, afterHash []byte) *Assembler {
 	return &Assembler{
-		nextNumber: after.Header.Number + 1,
-		prevHash:   after.HeaderHash(),
+		nextNumber: afterNumber + 1,
+		prevHash:   afterHash,
 	}
 }
 
@@ -199,10 +212,18 @@ type Service struct {
 // NewService returns a started ordering service chaining blocks after
 // genesis.
 func NewService(cfg Config, genesis *ledger.Block) *Service {
+	return NewServiceAt(cfg, genesis.Header.Number, genesis.HeaderHash())
+}
+
+// NewServiceAt returns a started ordering service chaining blocks after
+// the block identified by (number, header hash) — used when a network
+// resumes from durable peer state and new blocks must continue the
+// recorded chain rather than restart at 1.
+func NewServiceAt(cfg Config, afterNumber uint64, afterHash []byte) *Service {
 	return &Service{
 		cfg:       cfg.normalized(),
 		cutter:    NewCutter(cfg),
-		assembler: NewAssembler(genesis),
+		assembler: NewAssemblerAt(afterNumber, afterHash),
 	}
 }
 

@@ -4,9 +4,17 @@
 // ledger (paper §2.1). With CRDT support enabled the committer routes
 // CRDT-flagged transactions through the FabricCRDT merge engine instead of
 // MVCC validation (paper §5.1, Figure 2).
+//
+// The world state lives behind a configurable statedb backend
+// (CommitterConfig.Backend): in-memory (single-lock or sharded) or the
+// persistent disk backend. A peer reopening a disk backend's data
+// directory restarts at the recorded block height — Height reports it, and
+// CommitBlock fast-forwards re-delivered blocks at or below it instead of
+// re-validating them (DESIGN.md §4).
 package peer
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -56,6 +64,11 @@ type CommitResult struct {
 	MergedKeys []string
 	// CommittedTx counts transactions whose writes reached the state.
 	CommittedTx int
+	// FastForwarded reports that the block's writes were already in the
+	// world state (a restarted peer re-receiving history it durably
+	// committed), so validation, merge and state apply were skipped and
+	// the block was only recorded in the chain.
+	FastForwarded bool
 }
 
 // Config configures a peer.
@@ -113,28 +126,124 @@ type Peer struct {
 }
 
 // New creates a peer with its own world state and chain, signing with the
-// given identity and trusting the given MSP roots.
-func New(cfg Config, signer *cryptoid.Signer, msp *cryptoid.MSP) *Peer {
-	var db *statedb.DB
-	if cfg.Committer.StateShards > 1 {
-		db = statedb.NewSharded(cfg.Committer.StateShards)
-	} else {
-		db = statedb.New()
+// given identity and trusting the given MSP roots. It fails when the
+// configured state backend is unknown or cannot be opened (the disk
+// backend needs a usable Committer.DataDir).
+//
+// With the disk backend, a peer constructed over a previously used DataDir
+// resumes from the persisted state: Height reports the last durably
+// committed block, and CommitBlock fast-forwards re-delivered blocks up to
+// that height instead of re-validating them.
+func New(cfg Config, signer *cryptoid.Signer, msp *cryptoid.MSP) (*Peer, error) {
+	db, err := newStateDB(cfg.Committer)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: %w", cfg.Name, err)
 	}
 	if cfg.EngineOptions.Workers == 0 {
 		cfg.EngineOptions.Workers = cfg.Committer.Workers
+	}
+	// A durable state that already committed blocks carries a chain
+	// checkpoint (last block number + header hash): resume the chain from
+	// it, so newly delivered blocks are hash-verified against the recorded
+	// history instead of restarting at genesis. A store with height but no
+	// matching checkpoint is damaged — refuse it rather than start a
+	// genesis chain whose fast-forward would silently swallow new blocks
+	// numbered at or below the stale height.
+	chain := ledger.NewChain(cfg.ChannelID)
+	if h := db.Height().BlockNum; h > 0 {
+		num, hash, ok := loadCheckpoint(db)
+		if !ok || num != h {
+			db.Close()
+			return nil, fmt.Errorf("peer %s: durable state at height %d has no matching chain checkpoint (found %d): store is damaged or from an incompatible version", cfg.Name, h, num)
+		}
+		chain = ledger.NewChainCheckpointed(num, hash)
 	}
 	return &Peer{
 		cfg:          cfg,
 		signer:       signer,
 		msp:          msp,
 		db:           db,
-		chain:        ledger.NewChain(cfg.ChannelID),
+		chain:        chain,
 		validator:    mvcc.New(db),
 		engine:       core.NewEngine(db, cfg.EngineOptions),
 		chaincodes:   make(map[string]installedCC),
 		committedIDs: make(map[string]struct{}),
 		timings:      metrics.NewStageTimings(),
+	}, nil
+}
+
+// checkpointMetaKey is the statedb metadata key holding the last committed
+// block's chain checkpoint. It lives in the metadata space (like persisted
+// CRDT documents under "crdt/") and is written atomically with the block's
+// own state writes, so a durable backend always records a height and a
+// checkpoint from the same block.
+const checkpointMetaKey = "sys/checkpoint"
+
+// chainCheckpoint is the persisted (number, header hash) of the last
+// committed block — what a restarted peer's chain and the rebuilt ordering
+// service chain onto.
+type chainCheckpoint struct {
+	Number uint64 `json:"number"`
+	Hash   []byte `json:"hash"`
+}
+
+// txSeenMetaKey is the statedb metadata key marking a transaction ID as
+// seen, making duplicate screening survive restarts (real Fabric consults
+// its persisted block index for this).
+func txSeenMetaKey(txID string) string { return "sys/tx/" + txID }
+
+// stageTxSeen adds every transaction ID of the block to its commit batch,
+// durably extending the duplicate-screening set in the same atomic apply
+// as the block's writes.
+func stageTxSeen(batch *statedb.UpdateBatch, txs []*ledger.Transaction) {
+	for _, tx := range txs {
+		batch.PutMeta(txSeenMetaKey(tx.ID), []byte{1})
+	}
+}
+
+// stageCheckpoint adds the block's chain checkpoint to its commit batch.
+func stageCheckpoint(batch *statedb.UpdateBatch, b *ledger.Block) error {
+	data, err := json.Marshal(chainCheckpoint{Number: b.Header.Number, Hash: b.HeaderHash()})
+	if err != nil {
+		return err
+	}
+	batch.PutMeta(checkpointMetaKey, data)
+	return nil
+}
+
+// loadCheckpoint reads the persisted chain checkpoint, if any.
+func loadCheckpoint(db *statedb.DB) (number uint64, hash []byte, ok bool) {
+	raw := db.GetMeta(checkpointMetaKey)
+	if raw == nil {
+		return 0, nil, false
+	}
+	var cp chainCheckpoint
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		return 0, nil, false
+	}
+	return cp.Number, cp.Hash, true
+}
+
+// newStateDB builds the world state named by the committer configuration.
+func newStateDB(c CommitterConfig) (*statedb.DB, error) {
+	switch c.Backend {
+	case "":
+		if c.StateShards > 1 {
+			return statedb.NewSharded(c.StateShards), nil
+		}
+		return statedb.New(), nil
+	case BackendMemory:
+		return statedb.New(), nil
+	case BackendSharded:
+		return statedb.NewSharded(c.StateShards), nil
+	case BackendDisk:
+		if c.DataDir == "" {
+			return nil, errors.New("disk state backend requires CommitterConfig.DataDir")
+		}
+		return statedb.NewDisk(c.DataDir)
+	default:
+		return nil, fmt.Errorf("unknown state backend %q (want %s, %s or %s)",
+			c.Backend, BackendMemory, BackendSharded, BackendDisk)
 	}
 }
 
@@ -150,14 +259,28 @@ func (p *Peer) CRDTEnabled() bool { return p.cfg.EnableCRDT }
 // DB exposes the peer's world state (read-side: examples, experiments).
 func (p *Peer) DB() *statedb.DB { return p.db }
 
+// Height returns the number of the last block whose writes reached the
+// world state — with the disk backend, the last durably committed block,
+// which survives restarts. Deliver loops can use it to resume at
+// Height()+1; CommitBlock itself fast-forwards any block at or below it.
+func (p *Peer) Height() uint64 { return p.db.Height().BlockNum }
+
+// Close releases the peer's world state backend (a no-op for in-memory
+// backends). With the disk backend it flushes the log and surfaces any
+// deferred write error; the peer must not commit afterwards.
+func (p *Peer) Close() error { return p.db.Close() }
+
 // Chain exposes the peer's blockchain.
 func (p *Peer) Chain() *ledger.Chain { return p.chain }
 
-// Genesis returns the channel genesis block the peer chains from.
+// Genesis returns the channel genesis block the peer chains from. It
+// panics on a peer restored from a durable state checkpoint, whose chain
+// no longer stores the genesis body — use Chain().LastRef for the resume
+// point instead.
 func (p *Peer) Genesis() *ledger.Block {
 	g, err := p.chain.Get(0)
 	if err != nil {
-		panic("peer: chain without genesis: " + err.Error()) // unreachable
+		panic("peer: chain without genesis: " + err.Error())
 	}
 	return g
 }
@@ -321,9 +444,17 @@ func (p *Peer) SyncFrom(source *Peer) error {
 // transactions included in the blockchain starting from the genesis block
 // results in the current state"). The committed blocks already carry their
 // validation codes, so replay applies exactly the recorded outcomes.
+//
+// A peer restored from a durable state checkpoint cannot rebuild: the
+// pre-checkpoint block bodies are not stored locally. Its recovery path is
+// the inverse — the durable state IS the replay result, and CommitBlock
+// fast-forwards any re-delivered history.
 func (p *Peer) RebuildState() error {
 	p.commitMu.Lock()
 	defer p.commitMu.Unlock()
+	if p.chain.FirstNumber() > 0 {
+		return fmt.Errorf("peer %s: cannot rebuild state from a chain checkpointed at block %d: pre-checkpoint blocks are not stored locally", p.cfg.Name, p.chain.FirstNumber()-1)
+	}
 	p.db.Reset()
 	p.committedIDs = make(map[string]struct{})
 	for _, block := range p.chain.Blocks() {
@@ -357,6 +488,10 @@ func (p *Peer) RebuildState() error {
 		}
 		batch := mvcc.BuildCommitBatch(view.Header.Number, view.Transactions, block.Metadata.ValidationCodes)
 		core.StageDocStates(batch, mergeRes)
+		stageTxSeen(batch, view.Transactions)
+		if err := stageCheckpoint(batch, block); err != nil {
+			return err
+		}
 		p.db.Apply(batch, rwset.Version{BlockNum: view.Header.Number})
 		for _, tx := range view.Transactions {
 			p.committedIDs[tx.ID] = struct{}{}

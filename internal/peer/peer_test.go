@@ -23,6 +23,13 @@ type testEnv struct {
 
 func newEnv(t *testing.T, enableCRDT bool) *testEnv {
 	t.Helper()
+	return newEnvWithCommitter(t, enableCRDT, CommitterConfig{})
+}
+
+// newEnvWithCommitter is newEnv with an explicit committer configuration
+// (backend selection, worker pool).
+func newEnvWithCommitter(t *testing.T, enableCRDT bool, committer CommitterConfig) *testEnv {
+	t.Helper()
 	ca, err := cryptoid.NewCA("Org1")
 	if err != nil {
 		t.Fatal(err)
@@ -37,12 +44,16 @@ func newEnv(t *testing.T, enableCRDT bool) *testEnv {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := New(Config{
+	p, err := New(Config{
 		Name:       "Org1.peer0",
 		MSPID:      "Org1",
 		ChannelID:  "ch1",
 		EnableCRDT: enableCRDT,
+		Committer:  committer,
 	}, peerSigner, msp)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return &testEnv{ca: ca, msp: msp, peer: p, client: clientSigner}
 }
 
@@ -97,10 +108,12 @@ func (e *testEnv) endorseTx(t *testing.T, txID, ccName string, args ...string) *
 	}
 }
 
-// makeBlock assembles a hash-chained block after the peer's last block.
+// makeBlock assembles a hash-chained block after the peer's chain resume
+// point (its last block, or its checkpoint when restored from disk).
 func makeBlock(t *testing.T, p *Peer, txs []*ledger.Transaction) *ledger.Block {
 	t.Helper()
-	a := orderer.NewAssembler(p.Chain().Last())
+	num, hash := p.Chain().LastRef()
+	a := orderer.NewAssemblerAt(num, hash)
 	block, err := a.Assemble(orderer.Batch{Transactions: txs, Reason: orderer.CutMaxMessages})
 	if err != nil {
 		t.Fatal(err)

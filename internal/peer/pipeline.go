@@ -1,6 +1,7 @@
 package peer
 
 import (
+	"bytes"
 	"fmt"
 
 	"fabriccrdt/internal/core"
@@ -11,7 +12,21 @@ import (
 	"fabriccrdt/internal/rwset"
 )
 
-// CommitterConfig tunes the staged commit pipeline (DESIGN.md §5).
+// State backend names for CommitterConfig.Backend.
+const (
+	// BackendMemory is the trivial single-lock in-memory map.
+	BackendMemory = "memory"
+	// BackendSharded is the in-memory backend with per-shard locks
+	// (StateShards many).
+	BackendSharded = "sharded"
+	// BackendDisk is the persistent append-only-log backend; requires
+	// DataDir. A peer reopening the same DataDir resumes from the last
+	// committed block instead of replaying the chain.
+	BackendDisk = "disk"
+)
+
+// CommitterConfig tunes the staged commit pipeline and the world-state
+// backend behind it (DESIGN.md §4, §5).
 type CommitterConfig struct {
 	// Workers bounds the endorsement-validation worker pool and, unless
 	// EngineOptions.Workers overrides it, the merge engine's key-group
@@ -20,8 +35,16 @@ type CommitterConfig struct {
 	Workers int
 	// StateShards selects the sharded statedb backend with that many
 	// independently locked shards; 0 or 1 keeps the trivial single-lock
-	// map backend.
+	// map backend. Ignored unless Backend is "" or BackendSharded.
 	StateShards int
+	// Backend names the statedb backend: BackendMemory, BackendSharded or
+	// BackendDisk. Empty keeps the historical behavior (sharded when
+	// StateShards > 1, memory otherwise). Unknown names fail New.
+	Backend string
+	// DataDir is the disk backend's data directory (required for
+	// BackendDisk, unused otherwise). Each peer needs its own directory;
+	// fabricnet derives per-peer subdirectories automatically.
+	DataDir string
 }
 
 // Commit pipeline stage names, as reported by CommitTimings.
@@ -65,6 +88,14 @@ func (p *Peer) CommitBlock(block *ledger.Block) (CommitResult, error) {
 	p.commitMu.Lock()
 	defer p.commitMu.Unlock()
 
+	// A block at or below the state height was already committed — its
+	// writes are in the (durable) world state. Fast-forward: record it
+	// without re-validating or re-applying, so a restarted disk-backed
+	// peer resumes from height+1 instead of replaying the chain.
+	if num := view.Header.Number; num > 0 && num <= p.db.Height().BlockNum {
+		return p.fastForward(stored)
+	}
+
 	codes := make([]ledger.ValidationCode, len(view.Transactions))
 	p.timings.Time(StageDedup, func() {
 		p.markDuplicates(view, codes)
@@ -89,13 +120,21 @@ func (p *Peer) CommitBlock(block *ledger.Block) (CommitResult, error) {
 		p.validator.ValidateBlock(view.Header.Number, view.Transactions, codes)
 	})
 
-	// Atomic commit: state writes + CRDT document states, then the ledger
-	// append of the pristine block carrying the validation codes.
+	// Atomic commit: state writes + CRDT document states + the chain
+	// checkpoint a restarted peer resumes from, then the ledger append of
+	// the pristine block carrying the validation codes.
 	p.timings.Time(StageApply, func() {
 		batch := mvcc.BuildCommitBatch(view.Header.Number, view.Transactions, codes)
 		core.StageDocStates(batch, mergeRes)
+		stageTxSeen(batch, view.Transactions)
+		if err = stageCheckpoint(batch, stored); err != nil {
+			return
+		}
 		p.db.Apply(batch, rwset.Version{BlockNum: view.Header.Number})
 	})
+	if err != nil {
+		return CommitResult{}, fmt.Errorf("peer %s: committing block %d: %w", p.cfg.Name, view.Header.Number, err)
+	}
 
 	committed := 0
 	p.timings.Time(StageAppend, func() {
@@ -122,6 +161,62 @@ func (p *Peer) CommitBlock(block *ledger.Block) (CommitResult, error) {
 	}, nil
 }
 
+// fastForward records an already-committed block (state height at or above
+// its number) without re-running validation or touching the state: the
+// block is appended to the chain if missing, and its transaction IDs are
+// registered for duplicate screening. The block's metadata codes are kept
+// as delivered — a block re-delivered by the orderer carries none; the
+// authoritative codes live with peers that validated it and in the durable
+// state itself. No commit events are emitted (listeners attached after a
+// restart should not see historical commits replayed).
+//
+// A re-delivered block is never accepted unverified where a local hash
+// exists: a block the chain stores (or the checkpoint block itself) must
+// match it header-for-header, so a forged "old" block cannot poison the
+// duplicate-screening set or masquerade as committed history. Blocks from
+// before the checkpoint have no local hash; they are acknowledged without
+// registering anything.
+func (p *Peer) fastForward(stored *ledger.Block) (CommitResult, error) {
+	num := stored.Header.Number
+	switch {
+	case num >= p.chain.Height():
+		// Missing from the chain (e.g. a checkpointed chain receiving the
+		// block right after its checkpoint): Append hash-verifies it.
+		if err := p.chain.Append(stored); err != nil {
+			return CommitResult{}, fmt.Errorf("peer %s: fast-forwarding block %d: %w", p.cfg.Name, num, err)
+		}
+	case num >= p.chain.FirstNumber():
+		// Locally stored: the re-delivered copy must be the same block.
+		local, err := p.chain.Get(num)
+		if err != nil {
+			return CommitResult{}, fmt.Errorf("peer %s: fast-forwarding block %d: %w", p.cfg.Name, num, err)
+		}
+		if !bytes.Equal(local.HeaderHash(), stored.HeaderHash()) {
+			return CommitResult{}, fmt.Errorf("peer %s: re-delivered block %d does not match the committed block", p.cfg.Name, num)
+		}
+	default:
+		// Pre-checkpoint history. The checkpoint block itself is still
+		// verifiable against the recorded hash; anything earlier is not —
+		// acknowledge it without trusting its contents (the durable state
+		// already reflects the true history).
+		if cpNum, cpHash, ok := p.chain.Checkpoint(); ok && num == cpNum {
+			if !bytes.Equal(stored.HeaderHash(), cpHash) {
+				return CommitResult{}, fmt.Errorf("peer %s: re-delivered block %d does not match the chain checkpoint", p.cfg.Name, num)
+			}
+			break
+		}
+		return CommitResult{BlockNum: num, FastForwarded: true}, nil
+	}
+	for _, tx := range stored.Transactions {
+		p.committedIDs[tx.ID] = struct{}{}
+	}
+	return CommitResult{
+		BlockNum:      num,
+		Codes:         stored.Metadata.ValidationCodes,
+		FastForwarded: true,
+	}, nil
+}
+
 // decodeBlock serializes and re-parses the delivered block into the
 // pristine copy the ledger stores and the working view the committer
 // mutates.
@@ -143,10 +238,12 @@ func decodeBlock(block *ledger.Block) (stored, view *ledger.Block, err error) {
 
 // markDuplicates fails transactions whose ID was already committed or
 // appeared earlier in the same block (the paper's system model relies on
-// peers to identify duplicates; first occurrence wins).
+// peers to identify duplicates; first occurrence wins). Besides the
+// in-memory set, the durable seen-transaction markers are consulted, so
+// screening covers history committed before a restart.
 func (p *Peer) markDuplicates(view *ledger.Block, codes []ledger.ValidationCode) {
 	for i, tx := range view.Transactions {
-		if _, seen := p.committedIDs[tx.ID]; seen {
+		if _, seen := p.committedIDs[tx.ID]; seen || p.db.GetMeta(txSeenMetaKey(tx.ID)) != nil {
 			codes[i] = ledger.CodeDuplicate
 		}
 	}

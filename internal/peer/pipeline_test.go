@@ -42,10 +42,14 @@ func newPipelineEnv(t *testing.T, variants []CommitterConfig) *pipelineEnv {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return New(Config{
+		p, err := New(Config{
 			Name: name, MSPID: "Org1", ChannelID: "ch1",
 			EnableCRDT: true, Committer: committer,
 		}, signer, msp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
 	}
 	env.baseline = mkPeer("Org1.baseline", CommitterConfig{})
 	for i, cc := range variants {

@@ -1,6 +1,10 @@
 package statedb
 
-import "sync"
+import (
+	"sync"
+
+	"fabriccrdt/internal/rwset"
+)
 
 // Backend is the storage engine behind a DB. Implementations must be safe
 // for concurrent use: endorsement-phase reads run while block commits write.
@@ -10,13 +14,21 @@ import "sync"
 // cannot catch a torn scan. Point reads (Get/GetMeta) may observe a batch
 // partially — each key's version is re-checked by MVCC validation at
 // commit, so per-key atomicity suffices there.
+//
+// The built-in implementations are the single-lock mapBackend (New), the
+// per-shard-locked shardedBackend (NewSharded) and the persistent
+// diskBackend (NewDisk / OpenDisk). Durable backends additionally satisfy
+// the Durable interface.
 type Backend interface {
 	// Get returns the value stored at key.
 	Get(key string) (VersionedValue, bool)
 	// GetMeta returns a metadata value (nil when absent).
 	GetMeta(key string) []byte
-	// Apply commits a set of key mutations and metadata writes.
-	Apply(updates map[string]Update, meta map[string][]byte)
+	// Apply commits a set of key mutations and metadata writes produced by
+	// one block, together with that block's commit height. In-memory
+	// backends may ignore the height (DB tracks it for them); durable
+	// backends persist it so a restarted peer knows where to resume.
+	Apply(updates map[string]Update, meta map[string][]byte, height rwset.Version)
 	// Range returns all keys in [start, end) in sorted order; an empty end
 	// means "to the last key".
 	Range(start, end string) []KV
@@ -26,9 +38,23 @@ type Backend interface {
 	Reset()
 }
 
+// Durable is implemented by backends whose contents survive process
+// restarts. NewWithBackend seeds the DB's height from PersistedHeight, so
+// a reopened DB reports the height of the last durably committed block;
+// DB.Close forwards to Close.
+type Durable interface {
+	Backend
+	// PersistedHeight returns the height recorded by the last Apply that
+	// reached the store (zero for a fresh store).
+	PersistedHeight() rwset.Version
+	// Close flushes and releases the store. The backend must not be used
+	// afterwards.
+	Close() error
+}
+
 // mapBackend is the trivial backend: one map pair behind one global RWMutex.
-// It is the default and the reference implementation the sharded backend is
-// tested against.
+// It is the default and the reference implementation the sharded and disk
+// backends are tested against.
 type mapBackend struct {
 	mu   sync.RWMutex
 	data map[string]VersionedValue
@@ -55,26 +81,37 @@ func (b *mapBackend) GetMeta(key string) []byte {
 	return b.meta[key]
 }
 
-func (b *mapBackend) Apply(updates map[string]Update, meta map[string][]byte) {
+func (b *mapBackend) Apply(updates map[string]Update, meta map[string][]byte, _ rwset.Version) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	applyToMaps(b.data, b.meta, updates, meta)
+}
+
+// applyToMaps applies one batch to a data/meta map pair — the shared
+// in-memory commit step of the map and disk backends.
+func applyToMaps(data map[string]VersionedValue, metaDst map[string][]byte, updates map[string]Update, meta map[string][]byte) {
 	for key, u := range updates {
 		if u.IsDelete {
-			delete(b.data, key)
+			delete(data, key)
 			continue
 		}
-		b.data[key] = VersionedValue{Value: u.Value, Version: u.Version}
+		data[key] = VersionedValue{Value: u.Value, Version: u.Version}
 	}
 	for key, v := range meta {
-		b.meta[key] = v
+		metaDst[key] = v
 	}
 }
 
 func (b *mapBackend) Range(start, end string) []KV {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	out := make([]KV, 0, len(b.data))
-	for k, vv := range b.data {
+	return rangeOverMap(b.data, start, end)
+}
+
+// rangeOverMap collects [start, end) from a data map in sorted order.
+func rangeOverMap(data map[string]VersionedValue, start, end string) []KV {
+	out := make([]KV, 0, len(data))
+	for k, vv := range data {
 		if k >= start && (end == "" || k < end) {
 			out = append(out, KV{Key: k, VersionedValue: vv})
 		}

@@ -1,0 +1,625 @@
+package statedb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fabriccrdt/internal/rwset"
+)
+
+// diskBackend is the persistent backend: an append-only record log plus a
+// periodically rewritten snapshot, with the full state mirrored in memory
+// (the "index") so reads never touch the disk.
+//
+// On-disk layout inside the data directory:
+//
+//	state.snap   one batch record holding the whole compacted state
+//	state.log    batch records appended since the last compaction
+//
+// Both files are sequences of framed records:
+//
+//	[4B little-endian payload length][4B CRC32-Castagnoli of payload][payload]
+//
+// and each payload is one batch record (see encodeBatch): the commit
+// height followed by the block's key mutations and metadata writes. One
+// Apply appends exactly one frame, so a crash can only ever produce a
+// torn *tail*; Open truncates a torn or CRC-corrupt tail back to the last
+// intact frame instead of failing. Opening replays the snapshot, then the
+// log, rebuilding the in-memory maps and the persisted height.
+//
+// Compaction: when the log grows past DiskOptions.CompactAfterBytes the
+// whole in-memory state is written to state.snap (via a temp file +
+// rename, so a crash mid-compaction leaves the previous snapshot valid)
+// and the log is truncated.
+type diskBackend struct {
+	dir  string
+	opts DiskOptions
+
+	mu      sync.RWMutex
+	data    map[string]VersionedValue
+	meta    map[string][]byte
+	height  rwset.Version
+	log     *os.File
+	logSize int64
+	closed  bool
+	// logBroken disables the write path after a failed append: the file
+	// may end in a torn frame, and anything written after it would be
+	// silently dropped by the next open's tail truncation.
+	logBroken bool
+	// compactBroken stops retrying a failed compaction on every block.
+	compactBroken bool
+	applyErr      error
+}
+
+// DiskOptions tunes a disk backend.
+type DiskOptions struct {
+	// CompactAfterBytes rewrites the snapshot and truncates the log once
+	// the log exceeds this size; <= 0 selects the 8 MiB default.
+	CompactAfterBytes int64
+	// SyncEveryApply fsyncs the log after every batch. Off (the default),
+	// batches reach the OS page cache on Apply and the disk on Close or
+	// compaction: a process crash loses nothing, a host power loss may
+	// lose the most recent batches (never corrupting earlier ones).
+	SyncEveryApply bool
+}
+
+const defaultCompactAfterBytes = 8 << 20
+
+func (o DiskOptions) normalized() DiskOptions {
+	if o.CompactAfterBytes <= 0 {
+		o.CompactAfterBytes = defaultCompactAfterBytes
+	}
+	return o
+}
+
+const (
+	snapFileName = "state.snap"
+	logFileName  = "state.log"
+
+	frameHeaderLen = 8
+	recordVersion  = 1
+
+	// maxRecordBytes bounds a single record so a corrupt length prefix
+	// cannot trigger a multi-gigabyte allocation on open.
+	maxRecordBytes = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed reports use of a closed disk backend.
+var ErrClosed = errors.New("statedb: disk backend is closed")
+
+// OpenDisk opens (creating if needed) a persistent backend rooted at dir.
+// The returned backend satisfies Durable.
+func OpenDisk(dir string, opts DiskOptions) (Backend, error) {
+	return openDisk(dir, opts)
+}
+
+func openDisk(dir string, opts DiskOptions) (*diskBackend, error) {
+	if dir == "" {
+		return nil, errors.New("statedb: disk backend requires a data directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("statedb: creating data dir: %w", err)
+	}
+	b := &diskBackend{
+		dir:  dir,
+		opts: opts.normalized(),
+		data: make(map[string]VersionedValue),
+		meta: make(map[string][]byte),
+	}
+	if err := b.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := b.openAndReplayLog(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// NewDisk returns a world state persisted under dir with default options.
+// Reopening the same directory restores the state and the height of the
+// last committed block.
+func NewDisk(dir string) (*DB, error) {
+	return NewDiskWithOptions(dir, DiskOptions{})
+}
+
+// NewDiskWithOptions is NewDisk with explicit DiskOptions.
+func NewDiskWithOptions(dir string, opts DiskOptions) (*DB, error) {
+	b, err := openDisk(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithBackend(b), nil
+}
+
+// loadSnapshot replays state.snap if present. A snapshot is written
+// atomically (temp file + rename) so it is either absent or fully intact;
+// a corrupt snapshot is reported as an error rather than silently dropped,
+// since losing it would silently lose compacted history.
+func (b *diskBackend) loadSnapshot() error {
+	path := filepath.Join(b.dir, snapFileName)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("statedb: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	_, err = b.replayRecords(bufio.NewReader(f))
+	if err != nil {
+		return fmt.Errorf("statedb: corrupt snapshot %s: %w", path, err)
+	}
+	return nil
+}
+
+// openAndReplayLog opens state.log for append, replays every intact frame
+// into memory and truncates anything after the last intact frame (the torn
+// or corrupt tail a crash mid-Apply leaves behind).
+func (b *diskBackend) openAndReplayLog() error {
+	path := filepath.Join(b.dir, logFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("statedb: opening log: %w", err)
+	}
+	// Replay through a buffered reader (the log holds one small frame per
+	// block); the absolute Seek below re-positions the raw handle for
+	// appending, so the buffer never goes stale.
+	good, err := b.replayRecords(bufio.NewReader(f))
+	if err != nil {
+		// The tail after offset `good` is torn or corrupt: drop it.
+		if terr := f.Truncate(good); terr != nil {
+			f.Close()
+			return fmt.Errorf("statedb: truncating corrupt log tail: %w", terr)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("statedb: seeking log: %w", err)
+	}
+	b.log = f
+	b.logSize = good
+	return nil
+}
+
+// replayRecords applies every intact framed record from r into the
+// in-memory maps, returning the offset just past the last intact frame.
+// The error (if any) describes why reading stopped early; io.EOF at a
+// frame boundary is clean termination and returns a nil error.
+func (b *diskBackend) replayRecords(r io.Reader) (int64, error) {
+	var off int64
+	var header [frameHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return off, nil // clean end
+			}
+			return off, fmt.Errorf("torn frame header at offset %d", off)
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length > maxRecordBytes {
+			return off, fmt.Errorf("implausible record length %d at offset %d", length, off)
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return off, fmt.Errorf("torn record payload at offset %d", off)
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			return off, fmt.Errorf("record CRC mismatch at offset %d", off)
+		}
+		updates, meta, height, err := decodeBatch(payload)
+		if err != nil {
+			return off, fmt.Errorf("record decode at offset %d: %w", off, err)
+		}
+		applyToMaps(b.data, b.meta, updates, meta)
+		b.height = height
+		off += frameHeaderLen + int64(length)
+	}
+}
+
+func (b *diskBackend) Get(key string) (VersionedValue, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	vv, ok := b.data[key]
+	return vv, ok
+}
+
+func (b *diskBackend) GetMeta(key string) []byte {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.meta[key]
+}
+
+func (b *diskBackend) Range(start, end string) []KV {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return rangeOverMap(b.data, start, end)
+}
+
+func (b *diskBackend) KeyCount() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.data)
+}
+
+// PersistedHeight returns the height of the last batch that reached the
+// store (zero for a fresh store).
+func (b *diskBackend) PersistedHeight() rwset.Version {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.height
+}
+
+// Err returns the first write error Apply encountered, if any. The Backend
+// interface keeps Apply error-free (in-memory backends cannot fail), so
+// the disk backend records failures and surfaces them here and on Close.
+func (b *diskBackend) Err() error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.applyErr
+}
+
+// Apply durably appends the batch to the log, then applies it to the
+// in-memory maps and compacts if the log has outgrown the threshold. A
+// write failure is recorded (see Err) and the in-memory update still
+// happens, keeping the running peer consistent; the store is simply no
+// longer ahead of memory.
+//
+// The write path is fail-stop: after the first failed append (which may
+// have left a torn frame mid-file), no further frames are written — a
+// frame appended after a torn one would be silently discarded by the next
+// open's tail truncation anyway, so continuing would only fake
+// durability. The recorded error keeps surfacing via Err and Close.
+func (b *diskBackend) Apply(updates map[string]Update, meta map[string][]byte, height rwset.Version) {
+	payload := encodeBatch(updates, meta, height)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.closed:
+		b.recordErr(ErrClosed)
+	case b.logBroken:
+		// Write path disabled by an earlier failed append.
+	default:
+		if err := b.appendFrame(payload); err != nil {
+			b.logBroken = true
+			b.recordErr(err)
+		} else if b.opts.SyncEveryApply {
+			if err := b.log.Sync(); err != nil {
+				b.logBroken = true
+				b.recordErr(err)
+			}
+		}
+	}
+	applyToMaps(b.data, b.meta, updates, meta)
+	b.height = height
+	if !b.logBroken && !b.closed && !b.compactBroken && b.logSize > b.opts.CompactAfterBytes {
+		if err := b.compactLocked(); err != nil {
+			// Compaction failures leave the log authoritative; don't retry
+			// every block (each attempt costs an O(state) encode).
+			b.compactBroken = true
+			b.recordErr(err)
+		}
+	}
+}
+
+func (b *diskBackend) recordErr(err error) {
+	if b.applyErr == nil {
+		b.applyErr = err
+	}
+}
+
+// appendFrame writes one framed record to the log (mu held). A payload
+// larger than maxRecordBytes is refused: its frame would be rejected (or,
+// past 4 GiB, length-wrapped into corruption) on replay.
+func (b *diskBackend) appendFrame(payload []byte) error {
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("statedb: batch record of %d bytes exceeds the %d-byte record limit", len(payload), maxRecordBytes)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeaderLen:], payload)
+	n, err := b.log.Write(frame)
+	b.logSize += int64(n)
+	if err != nil {
+		return fmt.Errorf("statedb: appending to log: %w", err)
+	}
+	return nil
+}
+
+// compactLocked writes the whole in-memory state as one snapshot record to
+// a temp file, atomically renames it over state.snap, and truncates the
+// log (mu held). A crash at any point leaves either the old snapshot + old
+// log or the new snapshot + (possibly still full, harmlessly replayed) log.
+func (b *diskBackend) compactLocked() error {
+	payload := encodeSnapshot(b.data, b.meta, b.height)
+	if len(payload) > maxRecordBytes {
+		// Writing this snapshot would produce a frame replay rejects (or,
+		// past 4 GiB, a wrapped length corrupting the file). Keep the old
+		// snapshot + full log, which still reproduce the state.
+		return fmt.Errorf("statedb: state snapshot of %d bytes exceeds the %d-byte record limit; compaction skipped", len(payload), maxRecordBytes)
+	}
+
+	tmp := filepath.Join(b.dir, snapFileName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("statedb: creating snapshot temp: %w", err)
+	}
+	frame := make([]byte, frameHeaderLen)
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := f.Write(frame); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("statedb: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(b.dir, snapFileName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("statedb: installing snapshot: %w", err)
+	}
+	if err := b.log.Truncate(0); err != nil {
+		return fmt.Errorf("statedb: truncating log after compaction: %w", err)
+	}
+	if _, err := b.log.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("statedb: rewinding log after compaction: %w", err)
+	}
+	b.logSize = 0
+	return nil
+}
+
+// Reset drops all contents, in memory and on disk.
+func (b *diskBackend) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.data = make(map[string]VersionedValue)
+	b.meta = make(map[string][]byte)
+	b.height = rwset.Version{}
+	if b.closed {
+		return
+	}
+	if err := os.Remove(filepath.Join(b.dir, snapFileName)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		b.recordErr(err)
+	}
+	if err := b.log.Truncate(0); err != nil {
+		b.logBroken = true
+		b.recordErr(err)
+	} else if _, err := b.log.Seek(0, io.SeekStart); err != nil {
+		b.logBroken = true
+		b.recordErr(err)
+	} else {
+		// An emptied log has no torn tail: the write path is clean again
+		// (the first error stays recorded for Err/Close).
+		b.logBroken = false
+		b.compactBroken = false
+	}
+	b.logSize = 0
+}
+
+// Close fsyncs and closes the log, returning the first error any Apply
+// encountered (write failures would otherwise be invisible to callers).
+func (b *diskBackend) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return b.applyErr
+	}
+	b.closed = true
+	if err := b.log.Sync(); err != nil {
+		b.recordErr(err)
+	}
+	if err := b.log.Close(); err != nil {
+		b.recordErr(err)
+	}
+	return b.applyErr
+}
+
+// Batch record encoding (little-endian, length-prefixed strings/bytes):
+//
+//	u8  record format version (1)
+//	u64 height.BlockNum, u64 height.TxNum
+//	u32 update count, then per update:
+//	    u32 key length, key bytes,
+//	    u8  flags (bit 0 = delete),
+//	    u64 version.BlockNum, u64 version.TxNum,
+//	    u32 value length, value bytes   (omitted for deletes)
+//	u32 meta count, then per entry:
+//	    u32 key length, key bytes, u32 value length, value bytes
+//
+// Updates are written in map order: replay order within one batch is
+// irrelevant because UpdateBatch already collapsed per-key writes.
+
+func encodeBatch(updates map[string]Update, meta map[string][]byte, height rwset.Version) []byte {
+	size := 1 + 16 + 4 + 4
+	for k, u := range updates {
+		size += 4 + len(k) + 1 + 16
+		if !u.IsDelete {
+			size += 4 + len(u.Value)
+		}
+	}
+	for k, v := range meta {
+		size += 4 + len(k) + 4 + len(v)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, recordVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, height.BlockNum)
+	buf = binary.LittleEndian.AppendUint64(buf, height.TxNum)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(updates)))
+	for k, u := range updates {
+		buf = appendString(buf, k)
+		var flags byte
+		if u.IsDelete {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint64(buf, u.Version.BlockNum)
+		buf = binary.LittleEndian.AppendUint64(buf, u.Version.TxNum)
+		if !u.IsDelete {
+			buf = appendBytes(buf, u.Value)
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(meta)))
+	for k, v := range meta {
+		buf = appendString(buf, k)
+		buf = appendBytes(buf, v)
+	}
+	return buf
+}
+
+// encodeSnapshot writes the whole state as one batch record (all puts, no
+// deletes), straight from the live maps — the snapshot is a batch that
+// replays into the full state, so open needs no separate snapshot decoder.
+func encodeSnapshot(data map[string]VersionedValue, meta map[string][]byte, height rwset.Version) []byte {
+	size := 1 + 16 + 4 + 4
+	for k, vv := range data {
+		size += 4 + len(k) + 1 + 16 + 4 + len(vv.Value)
+	}
+	for k, v := range meta {
+		size += 4 + len(k) + 4 + len(v)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, recordVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, height.BlockNum)
+	buf = binary.LittleEndian.AppendUint64(buf, height.TxNum)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(data)))
+	for k, vv := range data {
+		buf = appendString(buf, k)
+		buf = append(buf, 0) // flags: a live value, never a delete
+		buf = binary.LittleEndian.AppendUint64(buf, vv.Version.BlockNum)
+		buf = binary.LittleEndian.AppendUint64(buf, vv.Version.TxNum)
+		buf = appendBytes(buf, vv.Value)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(meta)))
+	for k, v := range meta {
+		buf = appendString(buf, k)
+		buf = appendBytes(buf, v)
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf []byte, b []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+// errTruncatedRecord reports a record shorter than its own structure
+// claims — distinct from a torn frame, which the CRC already caught; this
+// guards against decoding bugs and hand-corrupted files.
+var errTruncatedRecord = errors.New("truncated batch record")
+
+func decodeBatch(buf []byte) (map[string]Update, map[string][]byte, rwset.Version, error) {
+	var height rwset.Version
+	d := &decoder{buf: buf}
+	ver := d.u8()
+	if d.err == nil && ver != recordVersion {
+		return nil, nil, height, fmt.Errorf("unsupported record version %d", ver)
+	}
+	height.BlockNum = d.u64()
+	height.TxNum = d.u64()
+	nUpdates := d.u32()
+	updates := make(map[string]Update, nUpdates)
+	for i := uint32(0); i < nUpdates && d.err == nil; i++ {
+		key := d.str()
+		flags := d.u8()
+		u := Update{IsDelete: flags&1 != 0}
+		u.Version.BlockNum = d.u64()
+		u.Version.TxNum = d.u64()
+		if !u.IsDelete {
+			u.Value = d.bytes()
+		}
+		updates[key] = u
+	}
+	nMeta := d.u32()
+	meta := make(map[string][]byte, nMeta)
+	for i := uint32(0); i < nMeta && d.err == nil; i++ {
+		key := d.str()
+		meta[key] = d.bytes()
+	}
+	if d.err != nil {
+		return nil, nil, rwset.Version{}, d.err
+	}
+	if len(d.buf) != d.off {
+		return nil, nil, rwset.Version{}, fmt.Errorf("batch record has %d trailing bytes", len(d.buf)-d.off)
+	}
+	return updates, meta, height, nil
+}
+
+// decoder is a cursor over a batch record; the first structural failure
+// sticks in err and zero values flow from then on.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) || n < 0 {
+		d.err = errTruncatedRecord
+		return nil
+	}
+	out := d.buf[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *decoder) u8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) str() string { return string(d.take(int(d.u32()))) }
+
+func (d *decoder) bytes() []byte {
+	b := d.take(int(d.u32()))
+	if b == nil {
+		return nil
+	}
+	// Copy out of the record buffer: stored values must not alias the
+	// (reusable) decode input.
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

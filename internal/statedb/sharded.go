@@ -3,6 +3,8 @@ package statedb
 import (
 	"sort"
 	"sync"
+
+	"fabriccrdt/internal/rwset"
 )
 
 // shardedBackend spreads keys over N independently locked shards so
@@ -75,7 +77,7 @@ func (b *shardedBackend) GetMeta(key string) []byte {
 // one at a time would let a concurrent Range observe a torn cross-key
 // snapshot that MVCC validation can never catch (range reads are not
 // recorded into read sets).
-func (b *shardedBackend) Apply(updates map[string]Update, meta map[string][]byte) {
+func (b *shardedBackend) Apply(updates map[string]Update, meta map[string][]byte, _ rwset.Version) {
 	type group struct {
 		updates map[string]Update
 		meta    map[string][]byte

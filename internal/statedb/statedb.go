@@ -9,7 +9,11 @@
 //
 // Storage lives behind the Backend interface: New returns the trivial
 // single-lock map backend, NewSharded a backend with per-shard locks so
-// endorsement reads stop contending with commit writes (DESIGN.md §4).
+// endorsement reads stop contending with commit writes, and NewDisk a
+// persistent backend — an append-only CRC-framed record log plus periodic
+// snapshot compaction — whose contents and last-committed block height
+// survive restarts, so a reopened peer resumes from where it stopped
+// instead of replaying the chain (DESIGN.md §4).
 package statedb
 
 import (
@@ -47,10 +51,24 @@ func NewSharded(shards int) *DB {
 	return &DB{backend: newShardedBackend(shards)}
 }
 
-// NewWithBackend returns a world state over a caller-provided backend
-// (e.g. a future persistent store).
+// NewWithBackend returns a world state over a caller-provided backend.
+// If the backend is Durable, the DB starts at its persisted height, so a
+// reopened store reports the height of the last durably committed block.
 func NewWithBackend(b Backend) *DB {
-	return &DB{backend: b}
+	db := &DB{backend: b}
+	if d, ok := b.(Durable); ok {
+		db.height = d.PersistedHeight()
+	}
+	return db
+}
+
+// Close releases a durable backend (no-op for in-memory backends),
+// returning any write error the backend had deferred.
+func (db *DB) Close() error {
+	if d, ok := db.backend.(Durable); ok {
+		return d.Close()
+	}
+	return nil
 }
 
 // Get returns the value stored at key.
@@ -118,9 +136,10 @@ func (b *UpdateBatch) PutMeta(key string, value []byte) {
 // Len returns the number of staged key mutations.
 func (b *UpdateBatch) Len() int { return len(b.updates) }
 
-// Apply commits the batch, advancing the DB height.
+// Apply commits the batch, advancing the DB height. Durable backends also
+// persist the height, making it the restart-resume point.
 func (db *DB) Apply(batch *UpdateBatch, height rwset.Version) {
-	db.backend.Apply(batch.updates, batch.metaPut)
+	db.backend.Apply(batch.updates, batch.metaPut, height)
 	db.heightMu.Lock()
 	db.height = height
 	db.heightMu.Unlock()
