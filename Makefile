@@ -24,10 +24,11 @@ race:
 
 # Commit-pipeline benchmark; refreshes BENCH_commit.json.
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkCommitPipeline|BenchmarkCommitBackends' -benchtime=20x .
+	$(GO) test -run xxx -bench 'BenchmarkCommitPipeline|BenchmarkCommitBackends|BenchmarkCommitChannels' -benchtime=20x .
 
 # One quick pass of the commit benchmark per state backend (memory,
-# sharded, disk) plus the worker sweep — enough for CI to refresh and
-# archive BENCH_commit.json without a long benchmark run.
+# sharded, disk), the worker sweep and the channel-scaling sweep
+# (1/2/4/8 channels) — enough for CI to refresh and archive
+# BENCH_commit.json without a long benchmark run.
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkCommitPipeline|BenchmarkCommitBackends' -benchtime=3x .
+	$(GO) test -run xxx -bench 'BenchmarkCommitPipeline|BenchmarkCommitBackends|BenchmarkCommitChannels' -benchtime=3x .

@@ -1,17 +1,23 @@
 // Command fabricnet runs a live in-process Fabric/FabricCRDT network — the
-// paper's 3-org × 2-peer topology with real goroutine peers, a batching
-// orderer and ed25519 endorsements — drives a conflicting IoT workload
-// through it, and reports Caliper-style metrics.
+// paper's 3-org × 2-peer topology with real goroutine peers, per-channel
+// batching orderers and ed25519 endorsements — drives the paper's IoT
+// workload (internal/workload, the Caliper stand-in) through it, and
+// reports Caliper-style metrics.
 //
 // Usage:
 //
-//	fabricnet                    # FabricCRDT, 500 txs at 200 tx/s
+//	fabricnet                    # FabricCRDT, 500 txs at 200 tx/s over 2 channels
 //	fabricnet -crdt=false        # stock Fabric (watch transactions fail)
-//	fabricnet -txs 2000 -rate 400 -block 50 -clients 8
+//	fabricnet -txs 2000 -rate 400 -block 50 -clients 8 -conflict 40
+//	fabricnet -channels channel1,channel2,channel3,channel4   # 4-way sharding
 //	fabricnet -backend disk -datadir ./net-state    # persistent peers
 //
-// With -backend disk, rerunning with the same -datadir restores every
-// peer's world state and resumes from the recorded block height.
+// Channels are the sharding unit: the workload generator assigns each
+// transaction a channel round-robin (workload.IoTParams.Channels), clients
+// submit through multi-channel clients, every channel orders and commits
+// independently, and the run reports per-channel block heights. With
+// -backend disk, rerunning with the same -datadir restores every peer's
+// world state and resumes each channel from its own recorded block height.
 package main
 
 import (
@@ -20,29 +26,37 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"fabriccrdt"
 
 	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/workload"
 )
 
 func main() {
 	var (
-		enableCRDT = flag.Bool("crdt", true, "run FabricCRDT (false = stock Fabric)")
-		totalTx    = flag.Int("txs", 500, "total transactions to submit")
-		rate       = flag.Float64("rate", 200, "aggregate submission rate (tx/s)")
-		blockSize  = flag.Int("block", 25, "orderer max transactions per block")
-		clients    = flag.Int("clients", 4, "number of concurrent clients")
-		device     = flag.String("device", "device-hot-0", "shared device key all transactions update")
-		workers    = flag.Int("workers", 1, "commit-pipeline workers per peer (endorsement validation + CRDT merge)")
-		shards     = flag.Int("shards", 1, "state database shards per peer (1 = single-lock map)")
-		backend    = flag.String("backend", "", "state backend per peer: memory|sharded|disk (default: memory, or sharded when -shards > 1)")
-		datadir    = flag.String("datadir", "", "data directory for -backend disk (one subdirectory per peer)")
-		timings    = flag.Bool("timings", false, "print per-stage commit latencies per peer")
+		enableCRDT  = flag.Bool("crdt", true, "run FabricCRDT (false = stock Fabric)")
+		totalTx     = flag.Int("txs", 500, "total transactions to submit")
+		rate        = flag.Float64("rate", 200, "aggregate submission rate (tx/s)")
+		blockSize   = flag.Int("block", 25, "orderer max transactions per block")
+		clients     = flag.Int("clients", 4, "number of concurrent multi-channel clients")
+		channelList = flag.String("channels", "channel1,channel2", "comma-separated channel list; each channel gets its own orderer and per-peer commit pipeline")
+		conflict    = flag.Int("conflict", 100, "percentage of transactions targeting each channel's shared hot key (paper Table 5)")
+		workers     = flag.Int("workers", 0, "commit-pipeline workers per peer per channel (0 = adaptive: NumCPU spread across channels)")
+		shards      = flag.Int("shards", 1, "state database shards per peer (1 = single-lock map)")
+		backend     = flag.String("backend", "", "state backend per peer: memory|sharded|disk (default: memory, or sharded when -shards > 1)")
+		datadir     = flag.String("datadir", "", "data directory for -backend disk (one subdirectory per peer, then per channel)")
+		timings     = flag.Bool("timings", false, "print per-stage commit latencies per peer")
 	)
 	flag.Parse()
+
+	channels, err := parseChannels(*channelList)
+	if err != nil {
+		fatal(err)
+	}
 
 	switch *backend {
 	case "", fabriccrdt.BackendMemory, fabriccrdt.BackendSharded:
@@ -57,7 +71,17 @@ func main() {
 		fatal(fmt.Errorf("unknown -backend %q (want memory, sharded or disk)", *backend))
 	}
 
+	// The paper's IoT workload generator is the transaction source: it
+	// assigns each transaction its keys (hot vs cold, -conflict) and its
+	// channel (round-robin over -channels — the channel-mix knob).
+	gen := workload.NewIoT(workload.IoTParams{
+		ConflictPct: *conflict,
+		Channels:    channels,
+		Seed:        42,
+	})
+
 	cfg := fabriccrdt.PaperTopology(*blockSize, *enableCRDT)
+	cfg.Channels = channels
 	cfg.Orderer.BatchTimeout = 2 * time.Second
 	cfg.Committer = fabriccrdt.CommitterConfig{
 		Workers:     *workers,
@@ -69,7 +93,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := net.InstallChaincode("iot", iotChaincode(), "OR('Org1.member','Org2.member','Org3.member')"); err != nil {
+	if err := net.InstallChaincode("iot", gen.Chaincode(), "OR('Org1.member','Org2.member','Org3.member')"); err != nil {
 		fatal(err)
 	}
 	net.Start()
@@ -79,27 +103,33 @@ func main() {
 	if !*enableCRDT {
 		mode = "Fabric"
 	}
-	fmt.Printf("%s network: 3 orgs x 2 peers, block size %d, %d clients, %d txs at %.0f tx/s\n",
-		mode, *blockSize, *clients, *totalTx, *rate)
-	if h := net.Peers()[0].Height(); h > 0 {
-		fmt.Printf("resumed from %s: persisted state at block height %d, new blocks continue from %d\n",
-			*datadir, h, h+1)
+	fmt.Printf("%s network: 3 orgs x 2 peers, %d channel(s) %v, block size %d, %d clients, %d txs at %.0f tx/s, %d%% conflicting\n",
+		mode, len(channels), channels, *blockSize, *clients, *totalTx, *rate, *conflict)
+	for _, ch := range channels {
+		if h, err := net.Peers()[0].HeightOn(ch); err == nil && h > 0 {
+			fmt.Printf("resumed %s from %s: persisted state at block height %d, new blocks continue from %d\n",
+				ch, *datadir, h, h+1)
+		}
 	}
 
+	// Each client is a multi-channel client; transaction i goes to the
+	// channel its workload spec names, so the generator's channel mix is
+	// what shards the load.
 	orgs := []string{"Org1", "Org2", "Org3"}
-	cls := make([]*fabriccrdt.Client, *clients)
-	for i := range cls {
+	mcs := make([]*fabriccrdt.MultiClient, *clients)
+	for i := range mcs {
 		org := orgs[i%len(orgs)]
-		c, err := net.NewClient(org, fmt.Sprintf("caliper-%d", i), []string{org})
+		mc, err := net.NewMultiClient(org, fmt.Sprintf("caliper-%d", i), []string{org})
 		if err != nil {
 			fatal(err)
 		}
-		cls[i] = c
+		mcs[i] = mc
 	}
 
 	var (
 		mu        sync.Mutex
 		codes     = make(map[string]int)
+		perChan   = make(map[string]int)
 		latencies []time.Duration
 	)
 	interTx := time.Duration(float64(time.Second) / *rate)
@@ -113,10 +143,10 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c := cls[i%len(cls)]
+			mc := mcs[i%len(mcs)]
+			ch := gen.ChannelFor(i)
 			t0 := time.Now()
-			code, err := c.SubmitAndWait(60*time.Second, "iot",
-				[]byte("record"), []byte(*device), []byte(fmt.Sprintf("%d", 10+i%30)))
+			code, err := mc.SubmitAndWait(60*time.Second, ch, "iot", workload.SpecArgs(i)...)
 			lat := time.Since(t0)
 			mu.Lock()
 			defer mu.Unlock()
@@ -127,6 +157,7 @@ func main() {
 				codes[code.String()]++
 				if code.Committed() {
 					latencies = append(latencies, lat)
+					perChan[ch]++
 				}
 			}
 		}(i)
@@ -160,25 +191,42 @@ func main() {
 			latencies[len(latencies)*95/100].Round(time.Millisecond))
 	}
 
-	// Show the converged document on one peer.
+	// Per-channel outcome: committed txs, block height, and the converged
+	// hot-key document on one peer — channels are independent ledgers, so
+	// each has its own height and its own copy of the hot device document.
 	p := net.Peers()[0]
-	if vv, ok := p.DB().Get(*device); ok {
-		var doc map[string]any
-		if err := json.Unmarshal(vv.Value, &doc); err == nil {
-			if readings, ok := doc["tempReadings"].([]any); ok {
-				fmt.Printf("converged document on %s: %d readings\n", p.Name(), len(readings))
+	hotKey := gen.HotKeys()[0]
+	fmt.Printf("\nper-channel state on %s:\n", p.Name())
+	for _, ch := range channels {
+		height, err := p.HeightOn(ch)
+		if err != nil {
+			fatal(err)
+		}
+		line := fmt.Sprintf("  %-12s height %-4d committed %-5d", ch, height, perChan[ch])
+		if db, err := p.DBOn(ch); err == nil {
+			if vv, ok := db.Get(hotKey); ok {
+				if n, ok := readingCount(vv.Value); ok {
+					line += fmt.Sprintf(" hot-key readings %d", n)
+				}
+			}
+		}
+		fmt.Println(line)
+	}
+	for _, p := range net.Peers() {
+		for _, ch := range channels {
+			chain, err := p.ChainOn(ch)
+			if err != nil {
+				fatal(err)
+			}
+			if err := chain.Verify(); err != nil {
+				fatal(fmt.Errorf("chain verification on %s/%s: %w", p.Name(), ch, err))
 			}
 		}
 	}
-	for _, p := range net.Peers() {
-		if err := p.Chain().Verify(); err != nil {
-			fatal(fmt.Errorf("chain verification on %s: %w", p.Name(), err))
-		}
-	}
-	fmt.Printf("all %d peer chains verified (height %d)\n", len(net.Peers()), net.Peers()[0].Chain().Height())
+	fmt.Printf("all %d peer chains verified on all %d channel(s)\n", len(net.Peers()), len(channels))
 
 	if *timings {
-		fmt.Println("\ncommit pipeline stage latencies (avg over committed blocks):")
+		fmt.Println("\ncommit pipeline stage latencies (avg over committed blocks, all channels):")
 		for _, p := range net.Peers() {
 			fmt.Printf("  %-12s", p.Name())
 			for _, s := range p.CommitTimings() {
@@ -189,25 +237,32 @@ func main() {
 	}
 }
 
-// iotChaincode is the paper's evaluation chaincode (§7.1).
-func iotChaincode() fabriccrdt.Chaincode {
-	return fabriccrdt.ChaincodeFunc(func(stub fabriccrdt.ChaincodeStub) error {
-		_, params := stub.Function()
-		if len(params) != 2 {
-			return fmt.Errorf("want [device reading], got %d params", len(params))
-		}
-		device, reading := params[0], params[1]
-		if _, err := stub.GetState(device); err != nil {
-			return err
-		}
-		delta, err := json.Marshal(map[string]any{
-			"tempReadings": []any{map[string]any{"temperature": reading}},
-		})
-		if err != nil {
-			return err
-		}
-		return stub.PutCRDT(device, delta)
-	})
+// readingCount extracts the merged hot-key document's reading-list length
+// (the workload's Listing 3 shape: "temperatureReadings1").
+func readingCount(doc []byte) (int, bool) {
+	var parsed map[string]any
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		return 0, false
+	}
+	readings, ok := parsed["temperatureReadings1"].([]any)
+	if !ok {
+		return 0, false
+	}
+	return len(readings), true
+}
+
+// parseChannels splits and validates the -channels flag: names must be
+// non-empty, filesystem-safe and unique.
+func parseChannels(list string) ([]string, error) {
+	parts := strings.Split(list, ",")
+	channels := make([]string, 0, len(parts))
+	for _, p := range parts {
+		channels = append(channels, strings.TrimSpace(p))
+	}
+	if err := fabriccrdt.ValidateChannels(channels); err != nil {
+		return nil, fmt.Errorf("bad -channels %q: %w", list, err)
+	}
+	return channels, nil
 }
 
 func fatal(err error) {

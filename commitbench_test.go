@@ -24,14 +24,15 @@ import (
 )
 
 // commitFixture endorses benchmark blocks once; fresh committer peers
-// (sharing the CA, MSP and chaincode) then replay them under different
-// pipeline configurations.
+// (sharing the CA, MSP, channel list and chaincode) then replay them under
+// different pipeline configurations.
 type commitFixture struct {
 	ca         *cryptoid.CA
 	msp        *cryptoid.MSP
 	endorser   *peer.Peer
 	client     *cryptoid.Signer
 	enableCRDT bool
+	channels   []string
 	policy     *endorse.Policy
 	nPeers     int
 }
@@ -51,6 +52,13 @@ func benchChaincode() chaincode.Chaincode {
 
 func newCommitFixture(b *testing.B, enableCRDT bool) *commitFixture {
 	b.Helper()
+	return newCommitFixtureChannels(b, enableCRDT, "bench")
+}
+
+// newCommitFixtureChannels is newCommitFixture with peers joining an
+// explicit channel list (the multi-channel scaling benchmark).
+func newCommitFixtureChannels(b *testing.B, enableCRDT bool, channels ...string) *commitFixture {
+	b.Helper()
 	ca, err := cryptoid.NewCA("Org1")
 	if err != nil {
 		b.Fatal(err)
@@ -63,9 +71,10 @@ func newCommitFixture(b *testing.B, enableCRDT bool) *commitFixture {
 	}
 	fix := &commitFixture{
 		ca: ca, msp: msp, client: client, enableCRDT: enableCRDT,
-		policy: endorse.MustParse("'Org1.member'"),
+		channels: channels,
+		policy:   endorse.MustParse("'Org1.member'"),
 	}
-	fix.endorser = fix.newPeer(b, peer.CommitterConfig{})
+	fix.endorser = fix.newPeer(b, peer.CommitterConfig{Workers: 1})
 	return fix
 }
 
@@ -78,7 +87,7 @@ func (f *commitFixture) newPeer(b *testing.B, committer peer.CommitterConfig) *p
 		b.Fatal(err)
 	}
 	p, err := peer.New(peer.Config{
-		Name: name, MSPID: "Org1", ChannelID: "bench",
+		Name: name, MSPID: "Org1", Channels: f.channels,
 		EnableCRDT: f.enableCRDT, Committer: committer,
 	}, signer, f.msp)
 	if err != nil {
@@ -92,27 +101,39 @@ func (f *commitFixture) newPeer(b *testing.B, committer peer.CommitterConfig) *p
 // 4 device keys, endorsed against the (never-committing) endorser's state.
 func (f *commitFixture) endorsedBlock(b *testing.B, n int) *ledger.Block {
 	b.Helper()
+	return f.endorsedBlockOn(b, f.channels[0], n)
+}
+
+// endorsedBlockOn is endorsedBlock against an explicit channel; the block
+// chains onto that channel's genesis, so it commits on any fresh fixture
+// peer.
+func (f *commitFixture) endorsedBlockOn(b *testing.B, channelID string, n int) *ledger.Block {
+	b.Helper()
 	creator, err := f.client.Identity.Marshal()
 	if err != nil {
 		b.Fatal(err)
 	}
 	txs := make([]*ledger.Transaction, n)
 	for i := range txs {
-		txID := fmt.Sprintf("bench-%d", i)
+		txID := fmt.Sprintf("bench-%s-%d", channelID, i)
 		args := [][]byte{[]byte("record"), []byte(fmt.Sprintf("dev%d", i%4)), []byte(fmt.Sprintf("%d", i))}
 		resp, err := f.endorser.Endorse(peer.Proposal{
-			TxID: txID, ChannelID: "bench", Chaincode: "bench", Args: args, Creator: creator,
+			TxID: txID, ChannelID: channelID, Chaincode: "bench", Args: args, Creator: creator,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		txs[i] = &ledger.Transaction{
-			ID: txID, ChannelID: "bench", Chaincode: "bench", Creator: creator, Args: args,
+			ID: txID, ChannelID: channelID, Chaincode: "bench", Creator: creator, Args: args,
 			RWSet:        resp.RWSet,
 			Endorsements: []ledger.Endorsement{{Endorser: resp.Endorser, Signature: resp.Signature}},
 		}
 	}
-	assembler := orderer.NewAssembler(f.endorser.Chain().Last())
+	chain, err := f.endorser.ChainOn(channelID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	assembler := orderer.NewAssembler(chain.Last())
 	block, err := assembler.Assemble(orderer.Batch{Transactions: txs, Reason: orderer.CutMaxMessages})
 	if err != nil {
 		b.Fatal(err)
@@ -125,7 +146,13 @@ type commitBenchEntry struct {
 	CRDT    bool   `json:"crdt"`
 	Backend string `json:"backend"`
 	// Shards is the sharded backend's shard count (0 for other backends).
-	Shards     int     `json:"shards,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// Channels is how many channels committed concurrently (1 for the
+	// single-channel pipeline benchmarks). With N > 1, BlockTxs counts one
+	// block per channel, NsPerBlock is the wall time for the whole round
+	// (one block on every channel in parallel) and TxPerSec is the
+	// aggregate across channels.
+	Channels   int     `json:"channels"`
 	BlockTxs   int     `json:"block_txs"`
 	Workers    int     `json:"workers"`
 	NsPerBlock int64   `json:"ns_per_block"`
@@ -144,7 +171,10 @@ func recordCommitBench(b *testing.B, e commitBenchEntry) {
 	b.Helper()
 	commitBenchMu.Lock()
 	defer commitBenchMu.Unlock()
-	commitBenchResults[fmt.Sprintf("%v/%s/%d/%d/%d", e.CRDT, e.Backend, e.Shards, e.BlockTxs, e.Workers)] = e
+	if e.Channels == 0 {
+		e.Channels = 1
+	}
+	commitBenchResults[fmt.Sprintf("%v/%s/%d/%d/%d/%d", e.CRDT, e.Backend, e.Shards, e.Channels, e.BlockTxs, e.Workers)] = e
 	entries := make([]commitBenchEntry, 0, len(commitBenchResults))
 	for _, v := range commitBenchResults {
 		entries = append(entries, v)
@@ -159,6 +189,9 @@ func recordCommitBench(b *testing.B, e commitBenchEntry) {
 		}
 		if a.Shards != c.Shards {
 			return a.Shards < c.Shards
+		}
+		if a.Channels != c.Channels {
+			return a.Channels < c.Channels
 		}
 		if a.BlockTxs != c.BlockTxs {
 			return a.BlockTxs < c.BlockTxs
@@ -281,6 +314,70 @@ func BenchmarkCommitBackends(b *testing.B) {
 			recordCommitBench(b, commitBenchEntry{
 				CRDT: true, Backend: backend.name, Shards: backend.shards, BlockTxs: blockTxs, Workers: workers,
 				NsPerBlock: nsPerBlock, TxPerSec: txPerSec,
+			})
+		})
+	}
+}
+
+// BenchmarkCommitChannels is the multi-channel scaling benchmark: one
+// pre-endorsed 100-transaction block per channel, committed on all
+// channels CONCURRENTLY by one peer, at 1/2/4/8 channels. Workers is
+// pinned to 1 so each channel's pipeline is serial — the measured speedup
+// is pure channel parallelism (per-channel commit mutexes, nothing
+// shared), the property the multi-channel runtime exists for. The
+// headline metric is aggregate tx/s across channels; near-linear growth
+// up to the core count is the expected shape.
+func BenchmarkCommitChannels(b *testing.B) {
+	const blockTxs = 100
+	for _, nCh := range []int{1, 2, 4, 8} {
+		ids := make([]string, nCh)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("bench%d", i)
+		}
+		fix := newCommitFixtureChannels(b, true, ids...)
+		blocks := make(map[string]*ledger.Block, nCh)
+		for _, id := range ids {
+			blocks[id] = fix.endorsedBlockOn(b, id, blockTxs)
+		}
+		b.Run(fmt.Sprintf("channels=%d", nCh), func(b *testing.B) {
+			cfg := peer.CommitterConfig{Workers: 1}
+			var total time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p := fix.newPeer(b, cfg)
+				b.StartTimer()
+				start := time.Now()
+				var wg sync.WaitGroup
+				errCh := make(chan error, nCh)
+				for _, id := range ids {
+					wg.Add(1)
+					go func(id string) {
+						defer wg.Done()
+						res, err := p.CommitBlockOn(id, blocks[id])
+						if err != nil {
+							errCh <- err
+							return
+						}
+						if res.CommittedTx != blockTxs {
+							errCh <- fmt.Errorf("channel %s committed %d/%d", id, res.CommittedTx, blockTxs)
+						}
+					}(id)
+				}
+				wg.Wait()
+				total += time.Since(start)
+				close(errCh)
+				for err := range errCh {
+					b.Fatal(err)
+				}
+			}
+			nsPerRound := total.Nanoseconds() / int64(b.N)
+			aggTxPerSec := float64(nCh*blockTxs) / (float64(nsPerRound) / 1e9)
+			b.ReportMetric(aggTxPerSec, "tx/s")
+			recordCommitBench(b, commitBenchEntry{
+				CRDT: true, Backend: peer.BackendMemory, Channels: nCh,
+				BlockTxs: blockTxs, Workers: 1,
+				NsPerBlock: nsPerRound, TxPerSec: aggTxPerSec,
 			})
 		})
 	}

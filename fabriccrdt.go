@@ -23,6 +23,7 @@ package fabriccrdt
 
 import (
 	"fabriccrdt/internal/chaincode"
+	"fabriccrdt/internal/channel"
 	"fabriccrdt/internal/client"
 	"fabriccrdt/internal/core"
 	"fabriccrdt/internal/crdt"
@@ -50,8 +51,9 @@ type (
 	// CommitterConfig tunes every peer's staged commit pipeline: the
 	// endorsement-validation worker pool, the merge engine's key-group
 	// parallelism, and the world-state backend (Backend/StateShards/
-	// DataDir — see the Backend* constants). The zero value is fully
-	// serial on the single-lock in-memory backend; any Workers setting
+	// DataDir — see the Backend* constants). One configuration applies
+	// per channel: a zero Workers is resolved adaptively (the host's CPUs
+	// divided across the network's channels); any Workers setting
 	// produces identical commit results.
 	CommitterConfig = peer.CommitterConfig
 	// CommitStageSummary aggregates one commit-pipeline stage's latencies,
@@ -73,16 +75,30 @@ const (
 	BackendDisk = peer.BackendDisk
 )
 
-// NewNetwork builds a network: per-org CAs, peers, an ordering service and
-// one channel. Call Start to launch delivery, Stop to shut down.
+// NewNetwork builds a network: per-org CAs, peers, and one ordering
+// service per configured channel (NetworkConfig.Channels; the default is
+// the single DefaultChannel). Call Start to launch delivery, Stop to shut
+// down. Channels commit fully in parallel — aggregate throughput scales
+// with the channel count (DESIGN.md §6).
 func NewNetwork(cfg NetworkConfig) (*Network, error) { return fabricnet.New(cfg) }
 
 // PaperTopology returns the paper's evaluation topology (§7.2): three
 // organizations with two peers each, one orderer, one channel, with the
 // given maximum block size; enableCRDT selects FabricCRDT vs stock Fabric.
+// Set NetworkConfig.Channels on the result to shard the network over
+// several channels.
 func PaperTopology(maxBlockTxs int, enableCRDT bool) NetworkConfig {
 	return fabricnet.PaperConfig(maxBlockTxs, enableCRDT)
 }
+
+// DefaultChannel is the channel ID used when a configuration names none.
+const DefaultChannel = channel.DefaultChannel
+
+// ValidateChannels checks a channel list the way NewNetwork will: it must
+// be non-empty, names must be non-empty, filesystem-safe and unique.
+// CLIs use it to reject a bad channel flag with a friendly error before
+// assembling anything.
+func ValidateChannels(ids []string) error { return channel.ValidateIDs(ids) }
 
 // DefaultOrdererConfig returns the paper's orderer settings (128 MB byte
 // caps, 2 s batch timeout) with the given block size.
@@ -102,11 +118,18 @@ type (
 
 // Clients and peers.
 type (
-	// Client drives the execute-order-validate lifecycle for applications.
+	// Client drives the execute-order-validate lifecycle for applications
+	// on its bound channel.
 	Client = client.Client
-	// Peer is one peer node (endorser + committer).
+	// MultiClient bundles one Client per channel: submit/query on a named
+	// channel, or round-robin independent transactions across all of them
+	// (Network.NewMultiClient builds one).
+	MultiClient = client.MultiClient
+	// Peer is one peer node (endorser + committer), joined to one or more
+	// channels.
 	Peer = peer.Peer
-	// CommitEvent notifies listeners of a transaction's commit outcome.
+	// CommitEvent notifies listeners of a transaction's commit outcome on
+	// one channel.
 	CommitEvent = peer.CommitEvent
 )
 
@@ -131,6 +154,7 @@ const (
 	CodeDuplicate          = ledger.CodeDuplicate
 	CodeCRDTMerged         = ledger.CodeCRDTMerged
 	CodeInvalidCRDT        = ledger.CodeInvalidCRDT
+	CodeWrongChannel       = ledger.CodeWrongChannel
 )
 
 // JSON CRDT document API (Kleppmann & Beresford semantics).
@@ -160,10 +184,22 @@ const (
 )
 
 // LoadMergedDoc returns the persisted CRDT document (with merge metadata)
-// behind a ledger key on a FabricCRDT peer, or nil if the key was never
-// CRDT-written. The plain converged value is the peer's world-state value.
+// behind a ledger key on a FabricCRDT peer's default channel, or nil if
+// the key was never CRDT-written. The plain converged value is the peer's
+// world-state value.
 func LoadMergedDoc(p *Peer, key string) (*JSONDoc, error) {
 	return core.LoadDoc(p.DB(), key)
+}
+
+// LoadMergedDocOn is LoadMergedDoc against an explicit channel — keys are
+// channel-local state, so the same key can hold a different document per
+// channel.
+func LoadMergedDocOn(p *Peer, channelID, key string) (*JSONDoc, error) {
+	db, err := p.DBOn(channelID)
+	if err != nil {
+		return nil, err
+	}
+	return core.LoadDoc(db, key)
 }
 
 // Classic state-based CRDT library (the paper's future-work datatypes).
@@ -193,9 +229,19 @@ type (
 func NewCRDTRegistry() *CRDTRegistry { return crdt.NewRegistry() }
 
 // LoadTypedCRDT returns the accumulated classic-CRDT state behind a ledger
-// key on a FabricCRDT peer (written via ChaincodeStub.PutTypedCRDT), or nil
-// if the key was never typed-CRDT-written. The plain value (counter total,
-// set members, ...) is the peer's world-state value.
+// key on a FabricCRDT peer's default channel (written via
+// ChaincodeStub.PutTypedCRDT), or nil if the key was never
+// typed-CRDT-written. The plain value (counter total, set members, ...) is
+// the peer's world-state value.
 func LoadTypedCRDT(p *Peer, key string) (CRDT, error) {
 	return core.LoadTypedCRDT(p.DB(), key)
+}
+
+// LoadTypedCRDTOn is LoadTypedCRDT against an explicit channel.
+func LoadTypedCRDTOn(p *Peer, channelID, key string) (CRDT, error) {
+	db, err := p.DBOn(channelID)
+	if err != nil {
+		return nil, err
+	}
+	return core.LoadTypedCRDT(db, key)
 }

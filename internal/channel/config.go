@@ -1,0 +1,113 @@
+package channel
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"fabriccrdt/internal/statedb"
+)
+
+// State backend names for CommitterConfig.Backend.
+const (
+	// BackendMemory is the trivial single-lock in-memory map.
+	BackendMemory = "memory"
+	// BackendSharded is the in-memory backend with per-shard locks
+	// (StateShards many).
+	BackendSharded = "sharded"
+	// BackendDisk is the persistent append-only-log backend; requires
+	// DataDir. A peer reopening the same DataDir resumes every channel
+	// from its last committed block instead of replaying the chain.
+	BackendDisk = "disk"
+)
+
+// CommitterConfig tunes the staged commit pipeline and the world-state
+// backend behind it (DESIGN.md §4, §5). One configuration applies to every
+// channel a peer joins; each channel gets its own backend instance (and,
+// for the disk backend, its own subdirectory under DataDir).
+type CommitterConfig struct {
+	// Workers bounds the endorsement-validation worker pool and, unless
+	// EngineOptions.Workers overrides it, the merge engine's key-group
+	// parallelism — per channel. 1 = serial. 0 = adaptive: the peer derives
+	// the count from runtime.NumCPU() divided across its active channels
+	// (AdaptiveWorkers). Validation codes, world state and persisted CRDT
+	// documents are identical at every setting.
+	Workers int
+	// StateShards selects the sharded statedb backend with that many
+	// independently locked shards; 0 or 1 keeps the trivial single-lock
+	// map backend. Ignored unless Backend is "" or BackendSharded.
+	StateShards int
+	// Backend names the statedb backend: BackendMemory, BackendSharded or
+	// BackendDisk. Empty keeps the historical behavior (sharded when
+	// StateShards > 1, memory otherwise). Unknown names fail construction.
+	Backend string
+	// DataDir is the disk backend's data directory (required for
+	// BackendDisk, unused otherwise). Each peer needs its own directory;
+	// fabricnet derives per-peer subdirectories automatically. Each channel
+	// persists under DataDir/<channel-ID>.
+	DataDir string
+}
+
+// AdaptiveWorkers is the commit-pipeline worker count used when
+// CommitterConfig.Workers is 0: the host's CPUs divided evenly across the
+// peer's active channels, never below 1. N channels committing in parallel
+// then share the machine instead of each assuming it owns every core
+// (DESIGN.md §6).
+func AdaptiveWorkers(activeChannels int) int {
+	if activeChannels < 1 {
+		activeChannels = 1
+	}
+	w := runtime.NumCPU() / activeChannels
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// rejectLegacyStore refuses a data directory holding a store in the
+// pre-multi-channel layout (state files directly under DataDir, not under
+// a per-channel subdirectory). Opening past it would silently start every
+// channel fresh — abandoning the committed state AND the durable
+// duplicate-screening markers — so, like a damaged checkpoint, it is an
+// error rather than a quiet restart. The record format itself is
+// unchanged: moving the old store into DataDir/<its-channel-ID>/ migrates
+// it.
+func rejectLegacyStore(dataDir string) error {
+	for _, name := range []string{"state.log", "state.snap"} {
+		if _, err := os.Stat(filepath.Join(dataDir, name)); err == nil {
+			return fmt.Errorf("found a pre-multi-channel store (%s) directly under %s: this version keeps each channel under %s/<channel-ID>; move the old store into its channel's subdirectory (e.g. %s) or use a fresh directory",
+				name, dataDir, dataDir, filepath.Join(dataDir, DefaultChannel))
+		}
+	}
+	return nil
+}
+
+// newStateDB builds one channel's world state as named by the committer
+// configuration. The disk backend stores each channel under its own
+// DataDir/<channel-ID> subdirectory so channels never share a log.
+func newStateDB(channelID string, c CommitterConfig) (*statedb.DB, error) {
+	switch c.Backend {
+	case "":
+		if c.StateShards > 1 {
+			return statedb.NewSharded(c.StateShards), nil
+		}
+		return statedb.New(), nil
+	case BackendMemory:
+		return statedb.New(), nil
+	case BackendSharded:
+		return statedb.NewSharded(c.StateShards), nil
+	case BackendDisk:
+		if c.DataDir == "" {
+			return nil, errors.New("disk state backend requires CommitterConfig.DataDir")
+		}
+		if err := rejectLegacyStore(c.DataDir); err != nil {
+			return nil, err
+		}
+		return statedb.NewDisk(filepath.Join(c.DataDir, channelID))
+	default:
+		return nil, fmt.Errorf("unknown state backend %q (want %s, %s or %s)",
+			c.Backend, BackendMemory, BackendSharded, BackendDisk)
+	}
+}

@@ -1,0 +1,204 @@
+// Package channel implements the multi-channel runtime: Fabric's unit of
+// sharding, where each channel is an independent ledger with its own
+// ordering service, block numbering, world state and commit pipeline
+// (Androulaki et al., "Hyperledger Fabric: A Distributed Operating System
+// for Permissioned Blockchains"). Two layers live here:
+//
+//   - Runtime is the peer-side per-channel committer state — statedb
+//     backend, hash chain (genesis or checkpoint-resumed), MVCC validator,
+//     CRDT merge engine, duplicate screening and the commit mutex. A peer
+//     owns one Runtime per joined channel; runtimes share nothing, so N
+//     channels commit fully in parallel.
+//   - Registry is the network-side channel manager — the validated,
+//     ordered channel ID set and one ordering service per channel
+//     (registry.go).
+//
+// Disk-backed runtimes persist under DataDir/<channel-ID>, so one DataDir
+// knob captures a whole peer and every channel resumes independently at
+// its own height after a restart (DESIGN.md §6).
+package channel
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"fabriccrdt/internal/core"
+	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/mvcc"
+	"fabriccrdt/internal/statedb"
+)
+
+// DefaultChannel is the channel ID used when a configuration names none —
+// the paper's single evaluation channel.
+const DefaultChannel = "channel1"
+
+// MetaCheckpoint is the statedb metadata key holding the last committed
+// block's chain checkpoint. It lives in the metadata space (like persisted
+// CRDT documents under "crdt/") and is written atomically with the block's
+// own state writes, so a durable backend always records a height and a
+// checkpoint from the same block.
+const MetaCheckpoint = "sys/checkpoint"
+
+// MetaTxSeen is the statedb metadata key marking a transaction ID as seen
+// on this channel, making duplicate screening survive restarts (real
+// Fabric consults its persisted block index for this). The marker is
+// per-channel state: the same ID on two channels is two transactions.
+func MetaTxSeen(txID string) string { return "sys/tx/" + txID }
+
+// chainCheckpoint is the persisted (number, header hash) of the last
+// committed block — what a restarted channel's chain and the rebuilt
+// ordering service chain onto.
+type chainCheckpoint struct {
+	Number uint64 `json:"number"`
+	Hash   []byte `json:"hash"`
+}
+
+// Runtime is one channel's complete commit-side state on one peer. All of
+// it is channel-private: block numbering, duplicate screening, MVCC
+// version space, merged CRDT documents and crash-restart resume are
+// independent per channel, which is what lets channels commit in parallel
+// with zero coordination.
+//
+// Commits on a Runtime are serialized by its commit mutex (Lock/Unlock) —
+// mirroring Fabric's one commit pipeline per channel — while reads
+// (endorsement simulation) stay concurrent. The dedup set accessors
+// (WasCommitted, MarkCommitted, ResetCommitted) must be called with the
+// commit mutex held.
+type Runtime struct {
+	id        string
+	db        *statedb.DB
+	chain     *ledger.Chain
+	validator *mvcc.Validator
+	engine    *core.Engine
+
+	mu           sync.Mutex
+	committedIDs map[string]struct{}
+}
+
+// NewRuntime opens one channel's world state and chain. It fails when the
+// configured state backend is unknown or cannot be opened (the disk
+// backend needs a usable DataDir; the channel's store lives under
+// DataDir/<id>).
+//
+// With the disk backend, a runtime constructed over a previously used
+// directory resumes from the persisted state: Height reports the last
+// durably committed block and the chain restarts from the recorded
+// checkpoint instead of genesis.
+func NewRuntime(id string, committer CommitterConfig, engineOpts core.Options) (*Runtime, error) {
+	db, err := newStateDB(id, committer)
+	if err != nil {
+		return nil, fmt.Errorf("channel %s: %w", id, err)
+	}
+	// A durable state that already committed blocks carries a chain
+	// checkpoint (last block number + header hash): resume the chain from
+	// it, so newly delivered blocks are hash-verified against the recorded
+	// history instead of restarting at genesis. A store with height but no
+	// matching checkpoint is damaged — refuse it rather than start a
+	// genesis chain whose fast-forward would silently swallow new blocks
+	// numbered at or below the stale height.
+	chain := ledger.NewChain(id)
+	if h := db.Height().BlockNum; h > 0 {
+		num, hash, ok := LoadCheckpoint(db)
+		if !ok || num != h {
+			db.Close()
+			return nil, fmt.Errorf("channel %s: durable state at height %d has no matching chain checkpoint (found %d): store is damaged or from an incompatible version", id, h, num)
+		}
+		chain = ledger.NewChainCheckpointed(num, hash)
+	}
+	return &Runtime{
+		id:           id,
+		db:           db,
+		chain:        chain,
+		validator:    mvcc.New(db),
+		engine:       core.NewEngine(db, engineOpts),
+		committedIDs: make(map[string]struct{}),
+	}, nil
+}
+
+// ID returns the channel ID.
+func (rt *Runtime) ID() string { return rt.id }
+
+// DB returns the channel's world state.
+func (rt *Runtime) DB() *statedb.DB { return rt.db }
+
+// Chain returns the channel's blockchain.
+func (rt *Runtime) Chain() *ledger.Chain { return rt.chain }
+
+// Validator returns the channel's MVCC validator.
+func (rt *Runtime) Validator() *mvcc.Validator { return rt.validator }
+
+// Engine returns the channel's CRDT merge engine.
+func (rt *Runtime) Engine() *core.Engine { return rt.engine }
+
+// Height returns the number of the last block whose writes reached this
+// channel's world state — with the disk backend, the last durably
+// committed block, which survives restarts.
+func (rt *Runtime) Height() uint64 { return rt.db.Height().BlockNum }
+
+// Close releases the channel's state backend (a no-op for in-memory
+// backends). With the disk backend it flushes the log and surfaces any
+// deferred write error; the runtime must not commit afterwards.
+func (rt *Runtime) Close() error { return rt.db.Close() }
+
+// Lock acquires the channel's commit mutex: commits on one channel are
+// serialized, commits on different channels never contend.
+func (rt *Runtime) Lock() { rt.mu.Lock() }
+
+// Unlock releases the channel's commit mutex.
+func (rt *Runtime) Unlock() { rt.mu.Unlock() }
+
+// WasCommitted reports whether the transaction ID was already committed on
+// this channel — in this process (in-memory set) or before a restart
+// (durable seen-transaction marker). Call with the commit mutex held.
+func (rt *Runtime) WasCommitted(txID string) bool {
+	if _, ok := rt.committedIDs[txID]; ok {
+		return true
+	}
+	return rt.db.GetMeta(MetaTxSeen(txID)) != nil
+}
+
+// MarkCommitted registers a transaction ID in the channel's in-memory
+// duplicate-screening set. Call with the commit mutex held.
+func (rt *Runtime) MarkCommitted(txID string) {
+	rt.committedIDs[txID] = struct{}{}
+}
+
+// ResetCommitted clears the in-memory duplicate-screening set (state
+// rebuild replays the chain and re-registers every ID). Call with the
+// commit mutex held.
+func (rt *Runtime) ResetCommitted() {
+	rt.committedIDs = make(map[string]struct{})
+}
+
+// StageTxSeen adds every transaction ID of the block to its commit batch,
+// durably extending the channel's duplicate-screening set in the same
+// atomic apply as the block's writes.
+func StageTxSeen(batch *statedb.UpdateBatch, txs []*ledger.Transaction) {
+	for _, tx := range txs {
+		batch.PutMeta(MetaTxSeen(tx.ID), []byte{1})
+	}
+}
+
+// StageCheckpoint adds the block's chain checkpoint to its commit batch.
+func StageCheckpoint(batch *statedb.UpdateBatch, b *ledger.Block) error {
+	data, err := json.Marshal(chainCheckpoint{Number: b.Header.Number, Hash: b.HeaderHash()})
+	if err != nil {
+		return err
+	}
+	batch.PutMeta(MetaCheckpoint, data)
+	return nil
+}
+
+// LoadCheckpoint reads the persisted chain checkpoint, if any.
+func LoadCheckpoint(db *statedb.DB) (number uint64, hash []byte, ok bool) {
+	raw := db.GetMeta(MetaCheckpoint)
+	if raw == nil {
+		return 0, nil, false
+	}
+	var cp chainCheckpoint
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		return 0, nil, false
+	}
+	return cp.Number, cp.Hash, true
+}

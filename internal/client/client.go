@@ -83,8 +83,13 @@ func New(signer *cryptoid.Signer, channelID string, endorsers []Endorser, ordere
 	}
 }
 
+// ChannelID returns the channel this client submits on.
+func (c *Client) ChannelID() string { return c.channelID }
+
 // StartCommitListener consumes commit events (from one peer's Events
 // channel) and completes pending waits. Call once before SubmitAndWait.
+// Events from other channels are skipped: a multi-channel peer emits one
+// stream for all its channels, and this client only ever waits on its own.
 func (c *Client) StartCommitListener(events <-chan peer.CommitEvent) {
 	c.mu.Lock()
 	if c.started {
@@ -97,6 +102,13 @@ func (c *Client) StartCommitListener(events <-chan peer.CommitEvent) {
 	go func() {
 		defer close(c.done)
 		for ev := range events {
+			// A client constructed with an empty channel ID submits on the
+			// endorsers' default channel (prepare adopts the resolved ID),
+			// so it cannot filter by name — waiters are keyed by txID,
+			// which is unique per client instance either way.
+			if ev.ChannelID != "" && c.channelID != "" && ev.ChannelID != c.channelID {
+				continue
+			}
 			c.mu.Lock()
 			ch, ok := c.waiters[ev.TxID]
 			if ok {
@@ -237,21 +249,33 @@ func (c *Client) prepare(chaincodeName string, args [][]byte) (*ledger.Transacti
 	}
 
 	// All endorsers must agree on the simulation result; a mismatch means
-	// non-deterministic chaincode or divergent state.
+	// non-deterministic chaincode or divergent state. They must also agree
+	// on the resolved channel: endorsers normalize an empty proposal
+	// ChannelID to their default channel and sign over the resolved ID, so
+	// the envelope must carry it — a transaction naming any other channel
+	// (empty included) is rejected at commit (WRONG_CHANNEL).
 	var agreed rwset.ReadWriteSet
+	channelID := prop.ChannelID
 	for i, resp := range responses {
 		if i == 0 {
 			agreed = resp.RWSet
-			continue
+		} else if !agreed.Equal(resp.RWSet) {
+			return nil, ErrEndorseMismatch
 		}
-		if !agreed.Equal(resp.RWSet) {
+		switch {
+		case resp.ChannelID == "":
+			// An endorser that does not echo a channel (test fakes) adds
+			// no constraint.
+		case channelID == "":
+			channelID = resp.ChannelID
+		case resp.ChannelID != channelID:
 			return nil, ErrEndorseMismatch
 		}
 	}
 
 	tx := &ledger.Transaction{
 		ID:        prop.TxID,
-		ChannelID: prop.ChannelID,
+		ChannelID: channelID,
 		Chaincode: prop.Chaincode,
 		Creator:   creator,
 		Args:      args,

@@ -191,3 +191,30 @@ func TestSubmitBroadcastError(t *testing.T) {
 		t.Fatal("broadcast error swallowed")
 	}
 }
+
+// TestDefaultChannelClientAdoptsResolvedChannel: a client constructed with
+// an empty channel ID must assemble its transactions with the channel the
+// endorsers resolved (ProposalResponse.ChannelID) — an empty ChannelID in
+// the envelope is rejected at commit.
+func TestDefaultChannelClientAdoptsResolvedChannel(t *testing.T) {
+	ord := &fakeOrderer{}
+	resp := respWith(rwset.ReadWriteSet{})
+	resp.ChannelID = "channel1"
+	c := New(testSigner(t), "", []Endorser{&fakeEndorser{name: "p0", resp: resp}}, ord)
+	if _, err := c.Submit("cc", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := ord.txs[0].ChannelID; got != "channel1" {
+		t.Fatalf("tx channel = %q, want resolved channel1", got)
+	}
+	// Endorsers resolving to different channels is a mismatch.
+	resp2 := respWith(rwset.ReadWriteSet{})
+	resp2.ChannelID = "channel2"
+	c2 := New(testSigner(t), "", []Endorser{
+		&fakeEndorser{name: "p0", resp: resp},
+		&fakeEndorser{name: "p1", resp: resp2},
+	}, ord)
+	if _, err := c2.Submit("cc", []byte("x")); err == nil {
+		t.Fatal("diverging resolved channels accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package client
+
+import (
+	"testing"
+
+	"fabriccrdt/internal/rwset"
+)
+
+func TestNewMultiClientValidation(t *testing.T) {
+	if _, err := NewMultiClient(); err == nil {
+		t.Fatal("empty multi-client accepted")
+	}
+	signer := testSigner(t)
+	a := New(signer, "ch1", nil, &fakeOrderer{})
+	b := New(signer, "ch1", nil, &fakeOrderer{})
+	if _, err := NewMultiClient(a, b); err == nil {
+		t.Fatal("two clients on one channel accepted")
+	}
+}
+
+func TestMultiClientRoutesByChannel(t *testing.T) {
+	signer := testSigner(t)
+	orderers := map[string]*fakeOrderer{"ch1": {}, "ch2": {}}
+	endorser := &fakeEndorser{name: "p0", resp: respWith(rwset.ReadWriteSet{})}
+	m, err := NewMultiClient(
+		New(signer, "ch1", []Endorser{endorser}, orderers["ch1"]),
+		New(signer, "ch2", []Endorser{endorser}, orderers["ch2"]),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Channels(); len(got) != 2 || got[0] != "ch1" || got[1] != "ch2" {
+		t.Fatalf("Channels = %v", got)
+	}
+	if _, err := m.Submit("ch2", "cc", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if len(orderers["ch2"].txs) != 1 || len(orderers["ch1"].txs) != 0 {
+		t.Fatalf("named submit landed on the wrong orderer: ch1=%d ch2=%d", len(orderers["ch1"].txs), len(orderers["ch2"].txs))
+	}
+	if orderers["ch2"].txs[0].ChannelID != "ch2" {
+		t.Fatalf("tx channel = %q", orderers["ch2"].txs[0].ChannelID)
+	}
+	if _, err := m.Submit("nope", "cc"); err == nil {
+		t.Fatal("unknown channel accepted")
+	}
+
+	// Round-robin alternates channels deterministically.
+	seen := make(map[string]int)
+	for i := 0; i < 6; i++ {
+		ch, _, err := m.SubmitRoundRobin("cc", []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[ch]++
+	}
+	if seen["ch1"] != 3 || seen["ch2"] != 3 {
+		t.Fatalf("round-robin split = %v, want 3/3", seen)
+	}
+}

@@ -1,13 +1,19 @@
 // Package fabricnet assembles complete in-process networks — organizations
-// with CAs, peers, an ordering service and one channel — in the paper's
+// with CAs, peers, and one ordering service per channel — in the paper's
 // topology (§7.2: three organizations, two peers each, one orderer, one
-// channel) and wires the live delivery pipeline: orderer deliver channels
-// feed each peer's committer goroutine.
+// channel) and wires the live delivery pipeline: each channel's orderer
+// deliver channels feed one committer goroutine per (peer, channel) pair.
 //
-// The deliver loop needs no restart special-casing: a peer whose world
-// state already covers a delivered block (Peer.Height at or above the
-// block number — a disk-backed peer rebuilt over its data directory)
-// fast-forwards it inside CommitBlock instead of re-validating it.
+// Channels are the unit of sharding (Config.Channels): every channel has
+// its own ordering service, block numbering, and per-peer commit runtime,
+// so N channels order and commit fully in parallel with zero cross-channel
+// coordination (DESIGN.md §6). The default remains the paper's single
+// "channel1".
+//
+// The deliver loops need no restart special-casing: a peer whose world
+// state already covers a delivered block (its channel height at or above
+// the block number — a disk-backed peer rebuilt over its data directory)
+// fast-forwards it inside CommitBlockOn instead of re-validating it.
 package fabricnet
 
 import (
@@ -18,6 +24,7 @@ import (
 	"sync"
 
 	"fabriccrdt/internal/chaincode"
+	"fabriccrdt/internal/channel"
 	"fabriccrdt/internal/client"
 	"fabriccrdt/internal/core"
 	"fabriccrdt/internal/cryptoid"
@@ -35,9 +42,17 @@ type OrgConfig struct {
 
 // Config describes a network.
 type Config struct {
+	// ChannelID is the single-channel convenience knob; ignored when
+	// Channels is set.
 	ChannelID string
-	Orgs      []OrgConfig
-	Orderer   orderer.Config
+	// Channels lists every channel the network runs — each gets its own
+	// ordering service and, on every peer, its own commit pipeline and
+	// state backend. The first entry is the default channel that
+	// single-channel APIs (Orderer, NewClient) bind to. Names must be
+	// unique and non-empty; empty falls back to [ChannelID].
+	Channels []string
+	Orgs     []OrgConfig
+	Orderer  orderer.Config
 	// EnableCRDT makes every peer a FabricCRDT peer; off = stock Fabric.
 	EnableCRDT bool
 	// EngineOptions tunes the merge engine on every peer.
@@ -45,17 +60,30 @@ type Config struct {
 	// Committer tunes every peer's staged commit pipeline (validation
 	// worker pool, statedb backend selection and sharding). With
 	// Backend == peer.BackendDisk, Committer.DataDir is the shared root
-	// directory; each peer persists under DataDir/<peer-name>, so
-	// rebuilding a network over the same root restores every peer's world
-	// state and resume height.
+	// directory; each peer persists under DataDir/<peer-name> (and each
+	// channel under DataDir/<peer-name>/<channel-ID>), so rebuilding a
+	// network over the same root restores every peer's world state and
+	// per-channel resume heights.
 	Committer peer.CommitterConfig
+}
+
+// channelIDs resolves the configured channel list; a config naming no
+// channel at all gets the single default channel (matching peer.New).
+func (c Config) channelIDs() []string {
+	if len(c.Channels) > 0 {
+		return c.Channels
+	}
+	if c.ChannelID != "" {
+		return []string{c.ChannelID}
+	}
+	return []string{channel.DefaultChannel}
 }
 
 // PaperConfig returns the paper's fixed evaluation topology (§7.2) with the
 // given block size: 3 organizations × 2 peers, one channel.
 func PaperConfig(maxBlockTxs int, enableCRDT bool) Config {
 	return Config{
-		ChannelID: "channel1",
+		ChannelID: channel.DefaultChannel,
 		Orgs: []OrgConfig{
 			{MSPID: "Org1", Peers: 2},
 			{MSPID: "Org2", Peers: 2},
@@ -68,11 +96,11 @@ func PaperConfig(maxBlockTxs int, enableCRDT bool) Config {
 
 // Network is a running in-process Fabric/FabricCRDT network.
 type Network struct {
-	cfg     Config
-	cas     map[string]*cryptoid.CA
-	msp     *cryptoid.MSP
-	peers   []*peer.Peer
-	orderer *orderer.Service
+	cfg      Config
+	cas      map[string]*cryptoid.CA
+	msp      *cryptoid.MSP
+	peers    []*peer.Peer
+	channels *channel.Registry
 
 	mu      sync.Mutex
 	started bool
@@ -82,18 +110,21 @@ type Network struct {
 	charge  []error
 }
 
-// New builds the network: CAs, peer identities, peers, orderer.
+// New builds the network: CAs, peer identities, peers, and one ordering
+// service per channel.
 func New(cfg Config) (*Network, error) {
-	if cfg.ChannelID == "" {
-		return nil, errors.New("fabricnet: empty channel ID")
+	registry, err := channel.NewRegistry(cfg.channelIDs()...)
+	if err != nil {
+		return nil, fmt.Errorf("fabricnet: %w", err)
 	}
 	if len(cfg.Orgs) == 0 {
 		return nil, errors.New("fabricnet: no organizations")
 	}
 	n := &Network{
-		cfg: cfg,
-		cas: make(map[string]*cryptoid.CA, len(cfg.Orgs)),
-		msp: cryptoid.NewMSP(),
+		cfg:      cfg,
+		cas:      make(map[string]*cryptoid.CA, len(cfg.Orgs)),
+		msp:      cryptoid.NewMSP(),
+		channels: registry,
 	}
 	for _, org := range cfg.Orgs {
 		ca, err := cryptoid.NewCA(org.MSPID)
@@ -119,7 +150,7 @@ func New(cfg Config) (*Network, error) {
 			p, err := peer.New(peer.Config{
 				Name:          name,
 				MSPID:         org.MSPID,
-				ChannelID:     cfg.ChannelID,
+				Channels:      registry.IDs(),
 				EnableCRDT:    cfg.EnableCRDT,
 				EngineOptions: cfg.EngineOptions,
 				Committer:     committer,
@@ -131,21 +162,39 @@ func New(cfg Config) (*Network, error) {
 			n.peers = append(n.peers, p)
 		}
 	}
-	// The ordering service chains onto the peers' common resume point: the
-	// genesis block for a fresh network, or the durable chain checkpoint
-	// when every peer was rebuilt over an existing data directory. Peers
-	// resuming at different heights cannot be reconciled here (the orderer
-	// holds no history to catch stragglers up with), so that is an error.
-	lastNum, lastHash := n.peers[0].Chain().LastRef()
-	for _, p := range n.peers[1:] {
-		num, hash := p.Chain().LastRef()
-		if num != lastNum || !bytes.Equal(hash, lastHash) {
+	// Each channel's ordering service chains onto the peers' common resume
+	// point for that channel: the genesis block for a fresh network, or the
+	// durable chain checkpoint when every peer was rebuilt over an existing
+	// data directory. Peers resuming one channel at different heights
+	// cannot be reconciled here (the orderer holds no history to catch
+	// stragglers up with), so that is an error. Channels resume
+	// independently — one channel checkpointed at block 40 and another at
+	// block 7 is the normal shape of a sharded network.
+	for _, id := range registry.IDs() {
+		refChain, err := n.peers[0].ChainOn(id)
+		if err != nil {
 			n.closePeers()
-			return nil, fmt.Errorf("fabricnet: peers resume from diverging histories (%s at block %d hash %x, %s at block %d hash %x): remove the data directory or sync the stores",
-				n.peers[0].Name(), lastNum, lastHash, p.Name(), num, hash)
+			return nil, fmt.Errorf("fabricnet: %w", err)
+		}
+		lastNum, lastHash := refChain.LastRef()
+		for _, p := range n.peers[1:] {
+			c, err := p.ChainOn(id)
+			if err != nil {
+				n.closePeers()
+				return nil, fmt.Errorf("fabricnet: %w", err)
+			}
+			num, hash := c.LastRef()
+			if num != lastNum || !bytes.Equal(hash, lastHash) {
+				n.closePeers()
+				return nil, fmt.Errorf("fabricnet: peers resume channel %s from diverging histories (%s at block %d hash %x, %s at block %d hash %x): remove the data directory or sync the stores",
+					id, n.peers[0].Name(), lastNum, lastHash, p.Name(), num, hash)
+			}
+		}
+		if _, err := registry.StartService(id, cfg.Orderer, lastNum, lastHash); err != nil {
+			n.closePeers()
+			return nil, fmt.Errorf("fabricnet: %w", err)
 		}
 	}
-	n.orderer = orderer.NewServiceAt(cfg.Orderer, lastNum, lastHash)
 	return n, nil
 }
 
@@ -167,11 +216,31 @@ func (n *Network) AnchorPeer(mspID string) (*peer.Peer, error) {
 	return n.Peer(mspID + ".peer0")
 }
 
-// Orderer returns the ordering service.
-func (n *Network) Orderer() *orderer.Service { return n.orderer }
+// Channels returns the network's channel IDs in configuration order; the
+// first is the default channel.
+func (n *Network) Channels() []string { return n.channels.IDs() }
+
+// DefaultChannel returns the channel single-channel APIs bind to.
+func (n *Network) DefaultChannel() string { return n.channels.Default() }
+
+// Orderer returns the default channel's ordering service.
+func (n *Network) Orderer() *orderer.Service {
+	svc, err := n.channels.Service(n.channels.Default())
+	if err != nil {
+		// The default channel's service is started in New; this is
+		// unreachable on a constructed network.
+		panic("fabricnet: default channel has no ordering service: " + err.Error())
+	}
+	return svc
+}
+
+// OrdererOn returns one channel's ordering service.
+func (n *Network) OrdererOn(channelID string) (*orderer.Service, error) {
+	return n.channels.Service(channelID)
+}
 
 // InstallChaincode installs a chaincode on every peer with the given
-// endorsement policy expression.
+// endorsement policy expression; it is invocable on every channel.
 func (n *Network) InstallChaincode(name string, cc chaincode.Chaincode, policyExpr string) error {
 	policy, err := endorse.Parse(policyExpr)
 	if err != nil {
@@ -183,8 +252,10 @@ func (n *Network) InstallChaincode(name string, cc chaincode.Chaincode, policyEx
 	return nil
 }
 
-// Start subscribes every peer to the ordering service and launches its
-// committer goroutine.
+// Start subscribes every peer to every channel's ordering service and
+// launches one committer goroutine per (peer, channel) pair — channels
+// deliver and commit independently, so a slow channel never stalls the
+// others.
 func (n *Network) Start() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -192,18 +263,24 @@ func (n *Network) Start() {
 		return
 	}
 	n.started = true
-	for _, p := range n.peers {
-		deliver := n.orderer.Subscribe()
-		n.wg.Add(1)
-		go func(p *peer.Peer, deliver <-chan *ledger.Block) {
-			defer n.wg.Done()
-			for block := range deliver {
-				if _, err := p.CommitBlock(block); err != nil {
-					n.recordError(fmt.Errorf("peer %s: %w", p.Name(), err))
-					return
-				}
+	for _, id := range n.channels.IDs() {
+		for _, p := range n.peers {
+			deliver, err := n.channels.Subscribe(id)
+			if err != nil {
+				n.recordError(fmt.Errorf("peer %s: subscribing to %s: %w", p.Name(), id, err))
+				continue
 			}
-		}(p, deliver)
+			n.wg.Add(1)
+			go func(p *peer.Peer, id string, deliver <-chan *ledger.Block) {
+				defer n.wg.Done()
+				for block := range deliver {
+					if _, err := p.CommitBlockOn(id, block); err != nil {
+						n.recordError(fmt.Errorf("peer %s: channel %s: %w", p.Name(), id, err))
+						return
+					}
+				}
+			}(p, id, deliver)
+		}
 	}
 }
 
@@ -223,9 +300,9 @@ func (n *Network) Err() error {
 	return n.charge[0]
 }
 
-// Stop flushes the orderer, waits for all peers to drain their deliver
-// channels, closes peer event streams and releases peer state backends
-// (flushing disk-backed world states).
+// Stop flushes every channel's orderer, waits for all peers to drain their
+// deliver channels, closes peer event streams and releases peer state
+// backends (flushing disk-backed world states).
 func (n *Network) Stop() {
 	n.mu.Lock()
 	if !n.started || n.stopped {
@@ -234,7 +311,7 @@ func (n *Network) Stop() {
 	}
 	n.stopped = true
 	n.mu.Unlock()
-	n.orderer.Stop()
+	n.channels.StopAll()
 	n.wg.Wait()
 	for _, p := range n.peers {
 		p.CloseEvents()
@@ -242,7 +319,7 @@ func (n *Network) Stop() {
 	n.closePeers()
 }
 
-// closePeers releases every peer's state backend, recording the first
+// closePeers releases every peer's state backends, recording the first
 // failure (a disk backend surfaces deferred write errors on close).
 func (n *Network) closePeers() {
 	for _, p := range n.peers {
@@ -252,31 +329,92 @@ func (n *Network) closePeers() {
 	}
 }
 
-// NewClient issues a fresh client identity from the organization's CA and
-// wires it to endorsers satisfying the given policy organizations. The
-// client's commit listener is attached to the organization's anchor peer.
+// NewClient issues a fresh client identity bound to the default channel.
+// See NewClientOn.
 func (n *Network) NewClient(mspID, name string, endorserOrgs []string) (*client.Client, error) {
-	ca, ok := n.cas[mspID]
-	if !ok {
-		return nil, fmt.Errorf("fabricnet: unknown org %q", mspID)
-	}
-	signer, err := ca.Issue(name)
-	if err != nil {
-		return nil, err
-	}
-	var endorsers []client.Endorser
-	for _, org := range endorserOrgs {
-		p, err := n.AnchorPeer(org)
-		if err != nil {
-			return nil, err
-		}
-		endorsers = append(endorsers, p)
-	}
-	c := client.New(signer, n.cfg.ChannelID, endorsers, n.orderer)
-	anchor, err := n.AnchorPeer(mspID)
+	return n.NewClientOn(n.channels.Default(), mspID, name, endorserOrgs)
+}
+
+// NewClientOn issues a fresh client identity from the organization's CA,
+// bound to one channel, and wires it to endorsers satisfying the given
+// policy organizations. The client's commit listener is attached to the
+// organization's anchor peer (which filters events to the bound channel).
+func (n *Network) NewClientOn(channelID, mspID, name string, endorserOrgs []string) (*client.Client, error) {
+	c, anchor, err := n.newClient(channelID, mspID, name, endorserOrgs)
 	if err != nil {
 		return nil, err
 	}
 	c.StartCommitListener(anchor.Events())
 	return c, nil
+}
+
+// newClient builds a channel-bound client without attaching its commit
+// listener, returning the organization's anchor peer for the caller to
+// wire events from.
+func (n *Network) newClient(channelID, mspID, name string, endorserOrgs []string) (*client.Client, *peer.Peer, error) {
+	svc, err := n.channels.Service(channelID)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fabricnet: %w", err)
+	}
+	ca, ok := n.cas[mspID]
+	if !ok {
+		return nil, nil, fmt.Errorf("fabricnet: unknown org %q", mspID)
+	}
+	signer, err := ca.Issue(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	var endorsers []client.Endorser
+	for _, org := range endorserOrgs {
+		p, err := n.AnchorPeer(org)
+		if err != nil {
+			return nil, nil, err
+		}
+		endorsers = append(endorsers, p)
+	}
+	anchor, err := n.AnchorPeer(mspID)
+	if err != nil {
+		return nil, nil, err
+	}
+	return client.New(signer, channelID, endorsers, svc), anchor, nil
+}
+
+// NewMultiClient issues one client per listed channel (all channels when
+// none are named) under a shared identity name and returns them bundled as
+// a multi-channel client with per-channel and round-robin submission.
+//
+// The bundle shares ONE event subscription on the organization's anchor
+// peer: a dispatcher goroutine routes each commit event to the client
+// bound to its channel, so a peer's event fan-out stays one enqueue per
+// multi-client instead of one per (client, channel).
+func (n *Network) NewMultiClient(mspID, name string, endorserOrgs []string, channelIDs ...string) (*client.MultiClient, error) {
+	if len(channelIDs) == 0 {
+		channelIDs = n.channels.IDs()
+	}
+	clients := make([]*client.Client, 0, len(channelIDs))
+	routes := make(map[string]chan peer.CommitEvent, len(channelIDs))
+	var anchor *peer.Peer
+	for _, id := range channelIDs {
+		c, a, err := n.newClient(id, mspID, fmt.Sprintf("%s@%s", name, id), endorserOrgs)
+		if err != nil {
+			return nil, err
+		}
+		in := make(chan peer.CommitEvent, 1024)
+		c.StartCommitListener(in)
+		routes[id] = in
+		clients = append(clients, c)
+		anchor = a
+	}
+	events := anchor.Events()
+	go func() {
+		for ev := range events {
+			if in, ok := routes[ev.ChannelID]; ok {
+				in <- ev
+			}
+		}
+		for _, in := range routes {
+			close(in)
+		}
+	}()
+	return client.NewMultiClient(clients...)
 }

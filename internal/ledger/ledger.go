@@ -43,6 +43,11 @@ const (
 	// CodeInvalidCRDT marks a CRDT transaction whose flagged value could
 	// not be parsed as a JSON object delta.
 	CodeInvalidCRDT
+	// CodeWrongChannel marks a transaction delivered on a channel other
+	// than the one it was endorsed for (its ChannelID). Channels are
+	// independent ledgers: an envelope endorsed against one channel's
+	// state must never commit on another (Fabric's BAD_CHANNEL_HEADER).
+	CodeWrongChannel
 )
 
 // String implements fmt.Stringer.
@@ -64,6 +69,8 @@ func (c ValidationCode) String() string {
 		return "CRDT_MERGED"
 	case CodeInvalidCRDT:
 		return "INVALID_CRDT_VALUE"
+	case CodeWrongChannel:
+		return "WRONG_CHANNEL"
 	default:
 		return fmt.Sprintf("ValidationCode(%d)", int(c))
 	}

@@ -5,21 +5,30 @@
 // CRDT-flagged transactions through the FabricCRDT merge engine instead of
 // MVCC validation (paper §5.1, Figure 2).
 //
-// The world state lives behind a configurable statedb backend
+// A peer joins one or more channels (Config.Channels). Each channel gets
+// its own commit runtime (internal/channel.Runtime): world state, hash
+// chain, block numbering, duplicate screening, MVCC version space and
+// crash-restart resume are all channel-private, so N channels commit fully
+// in parallel — CommitBlockOn serializes commits per channel, never across
+// channels. The single-channel API (CommitBlock, DB, Chain, Height,
+// Genesis) operates on the peer's default channel, the first configured.
+//
+// Each channel's world state lives behind a configurable statedb backend
 // (CommitterConfig.Backend): in-memory (single-lock or sharded) or the
-// persistent disk backend. A peer reopening a disk backend's data
-// directory restarts at the recorded block height — Height reports it, and
-// CommitBlock fast-forwards re-delivered blocks at or below it instead of
-// re-validating them (DESIGN.md §4).
+// persistent disk backend, stored under DataDir/<channel-ID>. A peer
+// reopening a disk backend's data directory restarts every channel at its
+// own recorded block height — HeightOn reports it, and CommitBlockOn
+// fast-forwards re-delivered blocks at or below it instead of
+// re-validating them (DESIGN.md §4, §6).
 package peer
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 
 	"fabriccrdt/internal/chaincode"
+	"fabriccrdt/internal/channel"
 	"fabriccrdt/internal/core"
 	"fabriccrdt/internal/cryptoid"
 	"fabriccrdt/internal/endorse"
@@ -32,7 +41,9 @@ import (
 
 // Proposal is a client's request to simulate a chaincode invocation.
 type Proposal struct {
-	TxID      string
+	TxID string
+	// ChannelID routes the simulation to one of the peer's channels; empty
+	// means the default channel.
 	ChannelID string
 	Chaincode string
 	Args      [][]byte
@@ -44,6 +55,11 @@ type Proposal struct {
 type ProposalResponse struct {
 	// Endorser is the serialized identity of the endorsing peer.
 	Endorser []byte
+	// ChannelID echoes the channel the proposal resolved to — the ID the
+	// signature covers and the assembled transaction must carry (a
+	// default-channel proposal with an empty ChannelID learns the real
+	// name here; committers reject transactions naming any other channel).
+	ChannelID string
 	// RWSet is the simulated read/write set.
 	RWSet rwset.ReadWriteSet
 	// Signature signs the would-be transaction's endorsement payload.
@@ -52,13 +68,17 @@ type ProposalResponse struct {
 
 // CommitEvent notifies a listener of one transaction's commit outcome.
 type CommitEvent struct {
-	TxID     string
-	BlockNum uint64
-	Code     ledger.ValidationCode
+	TxID string
+	// ChannelID names the channel the transaction committed on.
+	ChannelID string
+	BlockNum  uint64
+	Code      ledger.ValidationCode
 }
 
 // CommitResult summarizes one committed block.
 type CommitResult struct {
+	// ChannelID names the channel the block was committed on.
+	ChannelID  string
 	BlockNum   uint64
 	Codes      []ledger.ValidationCode
 	MergedKeys []string
@@ -73,17 +93,26 @@ type CommitResult struct {
 
 // Config configures a peer.
 type Config struct {
-	Name      string
-	MSPID     string
+	Name  string
+	MSPID string
+	// ChannelID is the single-channel convenience knob: with Channels
+	// empty, the peer joins just this channel (or channel.DefaultChannel
+	// when both are empty).
 	ChannelID string
+	// Channels lists every channel the peer joins; the first is the
+	// default channel the single-channel API binds to. Overrides
+	// ChannelID when set. Names must be unique and non-empty.
+	Channels []string
 	// EnableCRDT turns the peer into a FabricCRDT peer; disabled it
 	// behaves exactly like stock Fabric (CRDT-flagged writes validate and
 	// commit as ordinary writes).
 	EnableCRDT bool
 	// EngineOptions tunes the merge engine (ablation switches). A zero
-	// EngineOptions.Workers inherits Committer.Workers.
+	// EngineOptions.Workers inherits the resolved Committer.Workers.
 	EngineOptions core.Options
-	// Committer tunes the staged commit pipeline (see pipeline.go).
+	// Committer tunes the staged commit pipeline of every channel (see
+	// pipeline.go). A zero Committer.Workers is resolved adaptively:
+	// runtime.NumCPU() divided across the peer's channels.
 	Committer CommitterConfig
 }
 
@@ -92,6 +121,7 @@ var (
 	ErrUnknownChaincode = errors.New("peer: chaincode not installed")
 	ErrChaincodeFailed  = errors.New("peer: chaincode invocation failed")
 	ErrBadCreator       = errors.New("peer: creator identity rejected")
+	ErrUnknownChannel   = errors.New("peer: channel not joined")
 )
 
 // installedCC pairs a chaincode with its endorsement policy.
@@ -101,150 +131,112 @@ type installedCC struct {
 }
 
 // Peer is one peer node. Endorsement (Endorse) may run concurrently with
-// commits; commits are serialized by the committer mutex, mirroring
-// Fabric's single commit pipeline per channel.
+// commits; commits are serialized per channel by each channel runtime's
+// commit mutex, mirroring Fabric's single commit pipeline per channel —
+// distinct channels commit in parallel.
 type Peer struct {
 	cfg    Config
 	signer *cryptoid.Signer
 	msp    *cryptoid.MSP
 
-	db        *statedb.DB
-	chain     *ledger.Chain
-	validator *mvcc.Validator
-	engine    *core.Engine
+	// channelIDs is the joined channel list in configuration order;
+	// channelIDs[0] is the default channel. channels maps each ID to its
+	// private commit runtime.
+	channelIDs []string
+	channels   map[string]*channel.Runtime
 
 	ccMu       sync.RWMutex
 	chaincodes map[string]installedCC
 
-	commitMu     sync.Mutex
-	committedIDs map[string]struct{}
-
+	// timings aggregates commit-stage latencies across all channels (the
+	// accumulator is concurrency-safe; channels commit in parallel).
 	timings *metrics.StageTimings
 
 	eventMu   sync.RWMutex
 	listeners []chan CommitEvent
 }
 
-// New creates a peer with its own world state and chain, signing with the
-// given identity and trusting the given MSP roots. It fails when the
-// configured state backend is unknown or cannot be opened (the disk
-// backend needs a usable Committer.DataDir).
+// New creates a peer with its own world state and chain per joined
+// channel, signing with the given identity and trusting the given MSP
+// roots. It fails when the channel list is invalid (empty or duplicate
+// names), the configured state backend is unknown, or a channel store
+// cannot be opened (the disk backend needs a usable Committer.DataDir;
+// each channel persists under DataDir/<channel-ID>).
 //
 // With the disk backend, a peer constructed over a previously used DataDir
-// resumes from the persisted state: Height reports the last durably
-// committed block, and CommitBlock fast-forwards re-delivered blocks up to
-// that height instead of re-validating them.
+// resumes every channel from its persisted state: HeightOn reports the
+// last durably committed block per channel, and CommitBlockOn
+// fast-forwards re-delivered blocks up to that height instead of
+// re-validating them.
 func New(cfg Config, signer *cryptoid.Signer, msp *cryptoid.MSP) (*Peer, error) {
-	db, err := newStateDB(cfg.Committer)
-	if err != nil {
+	ids := cfg.Channels
+	if len(ids) == 0 {
+		id := cfg.ChannelID
+		if id == "" {
+			id = channel.DefaultChannel
+		}
+		ids = []string{id}
+	}
+	if err := channel.ValidateIDs(ids); err != nil {
 		return nil, fmt.Errorf("peer %s: %w", cfg.Name, err)
+	}
+	// Adaptive worker sizing (DESIGN.md §6): an unset worker knob shares
+	// the host's CPUs evenly across the peer's channels instead of
+	// defaulting to serial — channels commit in parallel, so each one
+	// sizing its pools for the whole machine would oversubscribe it.
+	if cfg.Committer.Workers == 0 {
+		cfg.Committer.Workers = channel.AdaptiveWorkers(len(ids))
 	}
 	if cfg.EngineOptions.Workers == 0 {
 		cfg.EngineOptions.Workers = cfg.Committer.Workers
 	}
-	// A durable state that already committed blocks carries a chain
-	// checkpoint (last block number + header hash): resume the chain from
-	// it, so newly delivered blocks are hash-verified against the recorded
-	// history instead of restarting at genesis. A store with height but no
-	// matching checkpoint is damaged — refuse it rather than start a
-	// genesis chain whose fast-forward would silently swallow new blocks
-	// numbered at or below the stale height.
-	chain := ledger.NewChain(cfg.ChannelID)
-	if h := db.Height().BlockNum; h > 0 {
-		num, hash, ok := loadCheckpoint(db)
-		if !ok || num != h {
-			db.Close()
-			return nil, fmt.Errorf("peer %s: durable state at height %d has no matching chain checkpoint (found %d): store is damaged or from an incompatible version", cfg.Name, h, num)
+	p := &Peer{
+		cfg:        cfg,
+		signer:     signer,
+		msp:        msp,
+		channelIDs: append([]string(nil), ids...),
+		channels:   make(map[string]*channel.Runtime, len(ids)),
+		chaincodes: make(map[string]installedCC),
+		timings:    metrics.NewStageTimings(),
+	}
+	for _, id := range ids {
+		rt, err := channel.NewRuntime(id, cfg.Committer, cfg.EngineOptions)
+		if err != nil {
+			p.closeRuntimes()
+			return nil, fmt.Errorf("peer %s: %w", cfg.Name, err)
 		}
-		chain = ledger.NewChainCheckpointed(num, hash)
+		p.channels[id] = rt
 	}
-	return &Peer{
-		cfg:          cfg,
-		signer:       signer,
-		msp:          msp,
-		db:           db,
-		chain:        chain,
-		validator:    mvcc.New(db),
-		engine:       core.NewEngine(db, cfg.EngineOptions),
-		chaincodes:   make(map[string]installedCC),
-		committedIDs: make(map[string]struct{}),
-		timings:      metrics.NewStageTimings(),
-	}, nil
+	return p, nil
 }
 
-// checkpointMetaKey is the statedb metadata key holding the last committed
-// block's chain checkpoint. It lives in the metadata space (like persisted
-// CRDT documents under "crdt/") and is written atomically with the block's
-// own state writes, so a durable backend always records a height and a
-// checkpoint from the same block.
-const checkpointMetaKey = "sys/checkpoint"
-
-// chainCheckpoint is the persisted (number, header hash) of the last
-// committed block — what a restarted peer's chain and the rebuilt ordering
-// service chain onto.
-type chainCheckpoint struct {
-	Number uint64 `json:"number"`
-	Hash   []byte `json:"hash"`
-}
-
-// txSeenMetaKey is the statedb metadata key marking a transaction ID as
-// seen, making duplicate screening survive restarts (real Fabric consults
-// its persisted block index for this).
-func txSeenMetaKey(txID string) string { return "sys/tx/" + txID }
-
-// stageTxSeen adds every transaction ID of the block to its commit batch,
-// durably extending the duplicate-screening set in the same atomic apply
-// as the block's writes.
-func stageTxSeen(batch *statedb.UpdateBatch, txs []*ledger.Transaction) {
-	for _, tx := range txs {
-		batch.PutMeta(txSeenMetaKey(tx.ID), []byte{1})
-	}
-}
-
-// stageCheckpoint adds the block's chain checkpoint to its commit batch.
-func stageCheckpoint(batch *statedb.UpdateBatch, b *ledger.Block) error {
-	data, err := json.Marshal(chainCheckpoint{Number: b.Header.Number, Hash: b.HeaderHash()})
-	if err != nil {
-		return err
-	}
-	batch.PutMeta(checkpointMetaKey, data)
-	return nil
-}
-
-// loadCheckpoint reads the persisted chain checkpoint, if any.
-func loadCheckpoint(db *statedb.DB) (number uint64, hash []byte, ok bool) {
-	raw := db.GetMeta(checkpointMetaKey)
-	if raw == nil {
-		return 0, nil, false
-	}
-	var cp chainCheckpoint
-	if err := json.Unmarshal(raw, &cp); err != nil {
-		return 0, nil, false
-	}
-	return cp.Number, cp.Hash, true
-}
-
-// newStateDB builds the world state named by the committer configuration.
-func newStateDB(c CommitterConfig) (*statedb.DB, error) {
-	switch c.Backend {
-	case "":
-		if c.StateShards > 1 {
-			return statedb.NewSharded(c.StateShards), nil
+// closeRuntimes closes every opened channel runtime, keeping the first
+// error.
+func (p *Peer) closeRuntimes() error {
+	var first error
+	for _, id := range p.channelIDs {
+		rt, ok := p.channels[id]
+		if !ok {
+			continue
 		}
-		return statedb.New(), nil
-	case BackendMemory:
-		return statedb.New(), nil
-	case BackendSharded:
-		return statedb.NewSharded(c.StateShards), nil
-	case BackendDisk:
-		if c.DataDir == "" {
-			return nil, errors.New("disk state backend requires CommitterConfig.DataDir")
+		if err := rt.Close(); err != nil && first == nil {
+			first = fmt.Errorf("channel %s: %w", id, err)
 		}
-		return statedb.NewDisk(c.DataDir)
-	default:
-		return nil, fmt.Errorf("unknown state backend %q (want %s, %s or %s)",
-			c.Backend, BackendMemory, BackendSharded, BackendDisk)
 	}
+	return first
+}
+
+// runtime resolves a channel ID to its commit runtime; empty means the
+// default channel.
+func (p *Peer) runtime(channelID string) (*channel.Runtime, error) {
+	if channelID == "" {
+		channelID = p.channelIDs[0]
+	}
+	rt, ok := p.channels[channelID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q on peer %s (joined: %v)", ErrUnknownChannel, channelID, p.cfg.Name, p.channelIDs)
+	}
+	return rt, nil
 }
 
 // Name returns the peer's name.
@@ -256,36 +248,85 @@ func (p *Peer) MSPID() string { return p.cfg.MSPID }
 // CRDTEnabled reports whether the FabricCRDT merge path is active.
 func (p *Peer) CRDTEnabled() bool { return p.cfg.EnableCRDT }
 
-// DB exposes the peer's world state (read-side: examples, experiments).
-func (p *Peer) DB() *statedb.DB { return p.db }
+// Channels returns the joined channel IDs in configuration order; the
+// first is the default channel.
+func (p *Peer) Channels() []string { return append([]string(nil), p.channelIDs...) }
+
+// DefaultChannel returns the channel the single-channel convenience API
+// (DB, Chain, Height, CommitBlock, Genesis) binds to.
+func (p *Peer) DefaultChannel() string { return p.channelIDs[0] }
+
+// Workers returns the resolved commit-pipeline worker count per channel —
+// the configured CommitterConfig.Workers, or the adaptive derivation
+// (NumCPU spread across channels) when it was left zero.
+func (p *Peer) Workers() int { return p.cfg.Committer.Workers }
+
+// DB exposes the default channel's world state (read-side: examples,
+// experiments).
+func (p *Peer) DB() *statedb.DB { return p.channels[p.channelIDs[0]].DB() }
+
+// DBOn exposes one channel's world state.
+func (p *Peer) DBOn(channelID string) (*statedb.DB, error) {
+	rt, err := p.runtime(channelID)
+	if err != nil {
+		return nil, err
+	}
+	return rt.DB(), nil
+}
 
 // Height returns the number of the last block whose writes reached the
-// world state — with the disk backend, the last durably committed block,
-// which survives restarts. Deliver loops can use it to resume at
-// Height()+1; CommitBlock itself fast-forwards any block at or below it.
-func (p *Peer) Height() uint64 { return p.db.Height().BlockNum }
+// default channel's world state — with the disk backend, the last durably
+// committed block, which survives restarts. Deliver loops can use it to
+// resume at Height()+1; CommitBlock itself fast-forwards any block at or
+// below it.
+func (p *Peer) Height() uint64 { return p.channels[p.channelIDs[0]].Height() }
 
-// Close releases the peer's world state backend (a no-op for in-memory
-// backends). With the disk backend it flushes the log and surfaces any
-// deferred write error; the peer must not commit afterwards.
-func (p *Peer) Close() error { return p.db.Close() }
+// HeightOn returns one channel's committed state height.
+func (p *Peer) HeightOn(channelID string) (uint64, error) {
+	rt, err := p.runtime(channelID)
+	if err != nil {
+		return 0, err
+	}
+	return rt.Height(), nil
+}
 
-// Chain exposes the peer's blockchain.
-func (p *Peer) Chain() *ledger.Chain { return p.chain }
+// Close releases every channel's state backend (a no-op for in-memory
+// backends). With the disk backend it flushes each channel's log and
+// surfaces the first deferred write error; the peer must not commit
+// afterwards.
+func (p *Peer) Close() error {
+	if err := p.closeRuntimes(); err != nil {
+		return fmt.Errorf("peer %s: %w", p.cfg.Name, err)
+	}
+	return nil
+}
 
-// Genesis returns the channel genesis block the peer chains from. It
-// panics on a peer restored from a durable state checkpoint, whose chain
-// no longer stores the genesis body — use Chain().LastRef for the resume
-// point instead.
+// Chain exposes the default channel's blockchain.
+func (p *Peer) Chain() *ledger.Chain { return p.channels[p.channelIDs[0]].Chain() }
+
+// ChainOn exposes one channel's blockchain.
+func (p *Peer) ChainOn(channelID string) (*ledger.Chain, error) {
+	rt, err := p.runtime(channelID)
+	if err != nil {
+		return nil, err
+	}
+	return rt.Chain(), nil
+}
+
+// Genesis returns the default channel's genesis block. It panics on a peer
+// restored from a durable state checkpoint, whose chain no longer stores
+// the genesis body — use Chain().LastRef for the resume point instead.
 func (p *Peer) Genesis() *ledger.Block {
-	g, err := p.chain.Get(0)
+	g, err := p.Chain().Get(0)
 	if err != nil {
 		panic("peer: chain without genesis: " + err.Error())
 	}
 	return g
 }
 
-// InstallChaincode installs a chaincode with its endorsement policy.
+// InstallChaincode installs a chaincode with its endorsement policy. Like
+// the network assembly, installation is peer-wide: the chaincode is
+// invocable on every channel the peer joined.
 func (p *Peer) InstallChaincode(name string, cc chaincode.Chaincode, policy *endorse.Policy) {
 	p.ccMu.Lock()
 	defer p.ccMu.Unlock()
@@ -303,11 +344,21 @@ func (p *Peer) lookupChaincode(name string) (installedCC, error) {
 	return entry, nil
 }
 
-// Endorse simulates the proposal against the local committed state and
-// returns the signed read/write set (execution + endorsement phase). The
-// world state is not modified (paper: "peers simulate the transaction
-// proposal").
+// Endorse simulates the proposal against the committed state of the
+// proposal's channel and returns the signed read/write set (execution +
+// endorsement phase). The world state is not modified (paper: "peers
+// simulate the transaction proposal").
 func (p *Peer) Endorse(prop Proposal) (ProposalResponse, error) {
+	rt, err := p.runtime(prop.ChannelID)
+	if err != nil {
+		return ProposalResponse{}, err
+	}
+	// Normalize an empty (default-channel) proposal to the resolved
+	// channel: the endorsement payload signs the channel ID, and the
+	// committer rejects transactions whose ChannelID does not name the
+	// channel they are delivered on — so the assembled transaction must
+	// carry the resolved ID, never "".
+	prop.ChannelID = rt.ID()
 	creator, err := cryptoid.UnmarshalIdentity(prop.Creator)
 	if err != nil {
 		return ProposalResponse{}, fmt.Errorf("%w: %v", ErrBadCreator, err)
@@ -319,7 +370,7 @@ func (p *Peer) Endorse(prop Proposal) (ProposalResponse, error) {
 	if err != nil {
 		return ProposalResponse{}, err
 	}
-	stub := chaincode.NewSimStub(prop.TxID, prop.Args, p.db)
+	stub := chaincode.NewSimStub(prop.TxID, prop.Args, rt.DB())
 	if err := entry.cc.Invoke(stub); err != nil {
 		return ProposalResponse{}, fmt.Errorf("%w: %v", ErrChaincodeFailed, err)
 	}
@@ -342,6 +393,7 @@ func (p *Peer) Endorse(prop Proposal) (ProposalResponse, error) {
 	}
 	return ProposalResponse{
 		Endorser:  endorser,
+		ChannelID: prop.ChannelID,
 		RWSet:     rw,
 		Signature: p.signer.Sign(payload),
 	}, nil
@@ -360,7 +412,9 @@ func endorsementPayload(prop Proposal, rw rwset.ReadWriteSet) ([]byte, error) {
 }
 
 // Events returns a channel receiving one CommitEvent per transaction in
-// every block this peer commits from the time of the call.
+// every block this peer commits — on any of its channels — from the time
+// of the call. Listeners interested in a single channel filter on
+// CommitEvent.ChannelID.
 func (p *Peer) Events() <-chan CommitEvent {
 	p.eventMu.Lock()
 	defer p.eventMu.Unlock()
@@ -417,47 +471,66 @@ func (p *Peer) validateEndorsements(tx *ledger.Transaction) ledger.ValidationCod
 	return ledger.CodeNotValidated
 }
 
-// SyncFrom catches this peer up to a source peer by fetching and committing
-// every block this peer is missing — the state-transfer path a freshly
-// joined or restarted peer runs before serving endorsements. Blocks are
-// re-validated from scratch (endorsements, merge, MVCC), so a lying source
-// cannot inject invalid state; only the hash-chained block contents are
-// trusted as delivered.
+// SyncFrom catches this peer up to a source peer by fetching and
+// committing, channel by channel, every block this peer is missing — the
+// state-transfer path a freshly joined or restarted peer runs before
+// serving endorsements. The source must have every channel this peer
+// joined. Blocks are re-validated from scratch (endorsements, merge,
+// MVCC), so a lying source cannot inject invalid state; only the
+// hash-chained block contents are trusted as delivered.
 func (p *Peer) SyncFrom(source *Peer) error {
-	for {
-		next := p.chain.Height()
-		if next >= source.Chain().Height() {
-			return nil
-		}
-		block, err := source.Chain().Get(next)
+	for _, id := range p.channelIDs {
+		rt := p.channels[id]
+		srcChain, err := source.ChainOn(id)
 		if err != nil {
-			return fmt.Errorf("peer %s: fetching block %d from %s: %w", p.cfg.Name, next, source.Name(), err)
+			return fmt.Errorf("peer %s: syncing channel %s from %s: %w", p.cfg.Name, id, source.Name(), err)
 		}
-		if _, err := p.CommitBlock(block); err != nil {
-			return fmt.Errorf("peer %s: syncing block %d: %w", p.cfg.Name, next, err)
+		for {
+			next := rt.Chain().Height()
+			if next >= srcChain.Height() {
+				break
+			}
+			block, err := srcChain.Get(next)
+			if err != nil {
+				return fmt.Errorf("peer %s: fetching block %d of channel %s from %s: %w", p.cfg.Name, next, id, source.Name(), err)
+			}
+			if _, err := p.CommitBlockOn(id, block); err != nil {
+				return fmt.Errorf("peer %s: syncing block %d of channel %s: %w", p.cfg.Name, next, id, err)
+			}
 		}
 	}
+	return nil
 }
 
-// RebuildState replays the blockchain into a fresh world state — the
-// recovery path a peer runs after a crash (paper §2.1: "executing all valid
-// transactions included in the blockchain starting from the genesis block
-// results in the current state"). The committed blocks already carry their
-// validation codes, so replay applies exactly the recorded outcomes.
+// RebuildState replays each channel's blockchain into a fresh world state
+// — the recovery path a peer runs after a crash (paper §2.1: "executing
+// all valid transactions included in the blockchain starting from the
+// genesis block results in the current state"). The committed blocks
+// already carry their validation codes, so replay applies exactly the
+// recorded outcomes. Channels rebuild independently.
 //
-// A peer restored from a durable state checkpoint cannot rebuild: the
+// A channel restored from a durable state checkpoint cannot rebuild: the
 // pre-checkpoint block bodies are not stored locally. Its recovery path is
-// the inverse — the durable state IS the replay result, and CommitBlock
+// the inverse — the durable state IS the replay result, and CommitBlockOn
 // fast-forwards any re-delivered history.
 func (p *Peer) RebuildState() error {
-	p.commitMu.Lock()
-	defer p.commitMu.Unlock()
-	if p.chain.FirstNumber() > 0 {
-		return fmt.Errorf("peer %s: cannot rebuild state from a chain checkpointed at block %d: pre-checkpoint blocks are not stored locally", p.cfg.Name, p.chain.FirstNumber()-1)
+	for _, id := range p.channelIDs {
+		if err := p.rebuildChannel(p.channels[id]); err != nil {
+			return err
+		}
 	}
-	p.db.Reset()
-	p.committedIDs = make(map[string]struct{})
-	for _, block := range p.chain.Blocks() {
+	return nil
+}
+
+func (p *Peer) rebuildChannel(rt *channel.Runtime) error {
+	rt.Lock()
+	defer rt.Unlock()
+	if rt.Chain().FirstNumber() > 0 {
+		return fmt.Errorf("peer %s: cannot rebuild channel %s from a chain checkpointed at block %d: pre-checkpoint blocks are not stored locally", p.cfg.Name, rt.ID(), rt.Chain().FirstNumber()-1)
+	}
+	rt.DB().Reset()
+	rt.ResetCommitted()
+	for _, block := range rt.Chain().Blocks() {
 		if block.Header.Number == 0 {
 			continue
 		}
@@ -481,20 +554,20 @@ func (p *Peer) RebuildState() error {
 					codes[i] = ledger.CodeNotValidated
 				}
 			}
-			mergeRes, err = p.engine.MergeBlock(view, codes)
+			mergeRes, err = rt.Engine().MergeBlock(view, codes)
 			if err != nil {
-				return fmt.Errorf("peer %s: replaying block %d: %w", p.cfg.Name, view.Header.Number, err)
+				return fmt.Errorf("peer %s: replaying block %d of channel %s: %w", p.cfg.Name, view.Header.Number, rt.ID(), err)
 			}
 		}
 		batch := mvcc.BuildCommitBatch(view.Header.Number, view.Transactions, block.Metadata.ValidationCodes)
 		core.StageDocStates(batch, mergeRes)
-		stageTxSeen(batch, view.Transactions)
-		if err := stageCheckpoint(batch, block); err != nil {
+		channel.StageTxSeen(batch, view.Transactions)
+		if err := channel.StageCheckpoint(batch, block); err != nil {
 			return err
 		}
-		p.db.Apply(batch, rwset.Version{BlockNum: view.Header.Number})
+		rt.DB().Apply(batch, rwset.Version{BlockNum: view.Header.Number})
 		for _, tx := range view.Transactions {
-			p.committedIDs[tx.ID] = struct{}{}
+			rt.MarkCommitted(tx.ID)
 		}
 	}
 	return nil

@@ -30,6 +30,13 @@ func newEnv(t *testing.T, enableCRDT bool) *testEnv {
 // (backend selection, worker pool).
 func newEnvWithCommitter(t *testing.T, enableCRDT bool, committer CommitterConfig) *testEnv {
 	t.Helper()
+	return newEnvChannels(t, enableCRDT, committer, "ch1")
+}
+
+// newEnvChannels is newEnvWithCommitter with the peer joining an explicit
+// channel list (the first is the default channel).
+func newEnvChannels(t *testing.T, enableCRDT bool, committer CommitterConfig, channels ...string) *testEnv {
+	t.Helper()
 	ca, err := cryptoid.NewCA("Org1")
 	if err != nil {
 		t.Fatal(err)
@@ -47,7 +54,7 @@ func newEnvWithCommitter(t *testing.T, enableCRDT bool, committer CommitterConfi
 	p, err := New(Config{
 		Name:       "Org1.peer0",
 		MSPID:      "Org1",
-		ChannelID:  "ch1",
+		Channels:   channels,
 		EnableCRDT: enableCRDT,
 		Committer:  committer,
 	}, peerSigner, msp)
@@ -83,6 +90,12 @@ func (e *testEnv) install(t *testing.T, name string, cc chaincode.Chaincode) {
 // endorseTx simulates one proposal on the peer and assembles the envelope.
 func (e *testEnv) endorseTx(t *testing.T, txID, ccName string, args ...string) *ledger.Transaction {
 	t.Helper()
+	return e.endorseTxOn(t, "ch1", txID, ccName, args...)
+}
+
+// endorseTxOn is endorseTx against an explicit channel.
+func (e *testEnv) endorseTxOn(t *testing.T, channelID, txID, ccName string, args ...string) *ledger.Transaction {
+	t.Helper()
 	creator, err := e.client.Identity.Marshal()
 	if err != nil {
 		t.Fatal(err)
@@ -92,14 +105,14 @@ func (e *testEnv) endorseTx(t *testing.T, txID, ccName string, args ...string) *
 		rawArgs[i] = []byte(a)
 	}
 	resp, err := e.peer.Endorse(Proposal{
-		TxID: txID, ChannelID: "ch1", Chaincode: ccName, Args: rawArgs, Creator: creator,
+		TxID: txID, ChannelID: channelID, Chaincode: ccName, Args: rawArgs, Creator: creator,
 	})
 	if err != nil {
-		t.Fatalf("endorse %s: %v", txID, err)
+		t.Fatalf("endorse %s on %s: %v", txID, channelID, err)
 	}
 	return &ledger.Transaction{
 		ID:           txID,
-		ChannelID:    "ch1",
+		ChannelID:    channelID,
 		Chaincode:    ccName,
 		Creator:      creator,
 		Args:         rawArgs,
@@ -108,11 +121,26 @@ func (e *testEnv) endorseTx(t *testing.T, txID, ccName string, args ...string) *
 	}
 }
 
-// makeBlock assembles a hash-chained block after the peer's chain resume
-// point (its last block, or its checkpoint when restored from disk).
+// makeBlock assembles a hash-chained block after the peer's default
+// channel's chain resume point (its last block, or its checkpoint when
+// restored from disk).
 func makeBlock(t *testing.T, p *Peer, txs []*ledger.Transaction) *ledger.Block {
 	t.Helper()
-	num, hash := p.Chain().LastRef()
+	return makeBlockOn(t, p, "", txs)
+}
+
+// makeBlockOn is makeBlock against an explicit channel.
+func makeBlockOn(t *testing.T, p *Peer, channelID string, txs []*ledger.Transaction) *ledger.Block {
+	t.Helper()
+	chain := p.Chain()
+	if channelID != "" {
+		var err error
+		chain, err = p.ChainOn(channelID)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	num, hash := chain.LastRef()
 	a := orderer.NewAssemblerAt(num, hash)
 	block, err := a.Assemble(orderer.Batch{Transactions: txs, Reason: orderer.CutMaxMessages})
 	if err != nil {

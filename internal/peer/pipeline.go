@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 
+	"fabriccrdt/internal/channel"
 	"fabriccrdt/internal/core"
 	"fabriccrdt/internal/ledger"
 	"fabriccrdt/internal/metrics"
@@ -12,40 +13,26 @@ import (
 	"fabriccrdt/internal/rwset"
 )
 
-// State backend names for CommitterConfig.Backend.
+// State backend names for CommitterConfig.Backend (aliases of the channel
+// subsystem's constants, kept here so existing peer-level call sites read
+// naturally).
 const (
 	// BackendMemory is the trivial single-lock in-memory map.
-	BackendMemory = "memory"
+	BackendMemory = channel.BackendMemory
 	// BackendSharded is the in-memory backend with per-shard locks
 	// (StateShards many).
-	BackendSharded = "sharded"
+	BackendSharded = channel.BackendSharded
 	// BackendDisk is the persistent append-only-log backend; requires
-	// DataDir. A peer reopening the same DataDir resumes from the last
-	// committed block instead of replaying the chain.
-	BackendDisk = "disk"
+	// DataDir. A peer reopening the same DataDir resumes every channel
+	// from its last committed block instead of replaying the chain.
+	BackendDisk = channel.BackendDisk
 )
 
 // CommitterConfig tunes the staged commit pipeline and the world-state
-// backend behind it (DESIGN.md §4, §5).
-type CommitterConfig struct {
-	// Workers bounds the endorsement-validation worker pool and, unless
-	// EngineOptions.Workers overrides it, the merge engine's key-group
-	// parallelism. 0 or 1 = serial. Validation codes, world state and
-	// persisted CRDT documents are identical at every setting.
-	Workers int
-	// StateShards selects the sharded statedb backend with that many
-	// independently locked shards; 0 or 1 keeps the trivial single-lock
-	// map backend. Ignored unless Backend is "" or BackendSharded.
-	StateShards int
-	// Backend names the statedb backend: BackendMemory, BackendSharded or
-	// BackendDisk. Empty keeps the historical behavior (sharded when
-	// StateShards > 1, memory otherwise). Unknown names fail New.
-	Backend string
-	// DataDir is the disk backend's data directory (required for
-	// BackendDisk, unused otherwise). Each peer needs its own directory;
-	// fabricnet derives per-peer subdirectories automatically.
-	DataDir string
-}
+// backend behind it (DESIGN.md §4, §5). It is the channel subsystem's
+// configuration type: one CommitterConfig applies to each channel the
+// peer joins, and each channel gets its own backend instance.
+type CommitterConfig = channel.CommitterConfig
 
 // Commit pipeline stage names, as reported by CommitTimings.
 const (
@@ -59,25 +46,39 @@ const (
 )
 
 // CommitTimings returns per-stage latency aggregates over every block this
-// peer has committed, in pipeline order.
+// peer has committed — on all channels — in pipeline order.
 func (p *Peer) CommitTimings() []metrics.StageSummary {
 	return p.timings.Summaries()
 }
 
-// CommitBlock runs the validation + commit phase on a delivered block as an
-// explicit staged pipeline: decode, duplicate screening, endorsement-policy
-// validation (parallel per transaction), the FabricCRDT merge for CRDT
-// transactions (when enabled; parallel per key-group), MVCC validation for
-// the rest, then an atomic state update and ledger append (paper §2.1
-// step 3, §5.1). Per-stage latencies are recorded for CommitTimings.
+// CommitBlock runs the commit pipeline on the peer's default channel — the
+// single-channel convenience wrapper around CommitBlockOn.
+func (p *Peer) CommitBlock(block *ledger.Block) (CommitResult, error) {
+	return p.CommitBlockOn(p.channelIDs[0], block)
+}
+
+// CommitBlockOn runs the validation + commit phase on a block delivered
+// for one channel as an explicit staged pipeline: decode, duplicate
+// screening, endorsement-policy validation (parallel per transaction), the
+// FabricCRDT merge for CRDT transactions (when enabled; parallel per
+// key-group), MVCC validation for the rest, then an atomic state update
+// and ledger append (paper §2.1 step 3, §5.1). Per-stage latencies are
+// recorded for CommitTimings.
+//
+// Commits are serialized per channel (the channel runtime's commit mutex);
+// distinct channels commit fully in parallel — they share no state, no
+// lock and no block numbering.
 //
 // The block is serialized and re-parsed first: the committer works on the
 // peer's own copy (a real peer receives bytes from the deliver service),
 // and the pristine copy is what the hash-chained ledger stores — the merge
 // engine's write-set rewriting never invalidates the orderer's data hash.
-func (p *Peer) CommitBlock(block *ledger.Block) (CommitResult, error) {
+func (p *Peer) CommitBlockOn(channelID string, block *ledger.Block) (CommitResult, error) {
+	rt, err := p.runtime(channelID)
+	if err != nil {
+		return CommitResult{}, err
+	}
 	var stored, view *ledger.Block
-	var err error
 	p.timings.Time(StageDecode, func() {
 		stored, view, err = decodeBlock(block)
 	})
@@ -85,20 +86,21 @@ func (p *Peer) CommitBlock(block *ledger.Block) (CommitResult, error) {
 		return CommitResult{}, err
 	}
 
-	p.commitMu.Lock()
-	defer p.commitMu.Unlock()
+	rt.Lock()
+	defer rt.Unlock()
 
 	// A block at or below the state height was already committed — its
 	// writes are in the (durable) world state. Fast-forward: record it
 	// without re-validating or re-applying, so a restarted disk-backed
 	// peer resumes from height+1 instead of replaying the chain.
-	if num := view.Header.Number; num > 0 && num <= p.db.Height().BlockNum {
-		return p.fastForward(stored)
+	if num := view.Header.Number; num > 0 && num <= rt.Height() {
+		return p.fastForward(rt, stored)
 	}
 
 	codes := make([]ledger.ValidationCode, len(view.Transactions))
 	p.timings.Time(StageDedup, func() {
-		p.markDuplicates(view, codes)
+		markWrongChannel(rt.ID(), view, codes)
+		p.markDuplicates(rt, view, codes)
 	})
 	p.timings.Time(StageEndorse, func() {
 		p.validateEndorsementsStage(view, codes)
@@ -108,16 +110,16 @@ func (p *Peer) CommitBlock(block *ledger.Block) (CommitResult, error) {
 	var mergeRes core.Result
 	if p.cfg.EnableCRDT {
 		p.timings.Time(StageMerge, func() {
-			mergeRes, err = p.engine.MergeBlock(view, codes)
+			mergeRes, err = rt.Engine().MergeBlock(view, codes)
 		})
 		if err != nil {
-			return CommitResult{}, fmt.Errorf("peer %s: merging block %d: %w", p.cfg.Name, view.Header.Number, err)
+			return CommitResult{}, fmt.Errorf("peer %s: merging block %d on %s: %w", p.cfg.Name, view.Header.Number, rt.ID(), err)
 		}
 	}
 
 	// Stock MVCC validation for everything still undecided.
 	p.timings.Time(StageMVCC, func() {
-		p.validator.ValidateBlock(view.Header.Number, view.Transactions, codes)
+		rt.Validator().ValidateBlock(view.Header.Number, view.Transactions, codes)
 	})
 
 	// Atomic commit: state writes + CRDT document states + the chain
@@ -126,34 +128,35 @@ func (p *Peer) CommitBlock(block *ledger.Block) (CommitResult, error) {
 	p.timings.Time(StageApply, func() {
 		batch := mvcc.BuildCommitBatch(view.Header.Number, view.Transactions, codes)
 		core.StageDocStates(batch, mergeRes)
-		stageTxSeen(batch, view.Transactions)
-		if err = stageCheckpoint(batch, stored); err != nil {
+		channel.StageTxSeen(batch, view.Transactions)
+		if err = channel.StageCheckpoint(batch, stored); err != nil {
 			return
 		}
-		p.db.Apply(batch, rwset.Version{BlockNum: view.Header.Number})
+		rt.DB().Apply(batch, rwset.Version{BlockNum: view.Header.Number})
 	})
 	if err != nil {
-		return CommitResult{}, fmt.Errorf("peer %s: committing block %d: %w", p.cfg.Name, view.Header.Number, err)
+		return CommitResult{}, fmt.Errorf("peer %s: committing block %d on %s: %w", p.cfg.Name, view.Header.Number, rt.ID(), err)
 	}
 
 	committed := 0
 	p.timings.Time(StageAppend, func() {
 		stored.Metadata.ValidationCodes = codes
-		if err = p.chain.Append(stored); err != nil {
+		if err = rt.Chain().Append(stored); err != nil {
 			return
 		}
 		for i, tx := range view.Transactions {
 			if codes[i].Committed() {
 				committed++
 			}
-			p.committedIDs[tx.ID] = struct{}{}
-			p.emit(CommitEvent{TxID: tx.ID, BlockNum: view.Header.Number, Code: codes[i]})
+			rt.MarkCommitted(tx.ID)
+			p.emit(CommitEvent{TxID: tx.ID, ChannelID: rt.ID(), BlockNum: view.Header.Number, Code: codes[i]})
 		}
 	})
 	if err != nil {
-		return CommitResult{}, fmt.Errorf("peer %s: appending block %d: %w", p.cfg.Name, view.Header.Number, err)
+		return CommitResult{}, fmt.Errorf("peer %s: appending block %d on %s: %w", p.cfg.Name, view.Header.Number, rt.ID(), err)
 	}
 	return CommitResult{
+		ChannelID:   rt.ID(),
 		BlockNum:    view.Header.Number,
 		Codes:       codes,
 		MergedKeys:  mergeRes.MergedKeys,
@@ -163,12 +166,12 @@ func (p *Peer) CommitBlock(block *ledger.Block) (CommitResult, error) {
 
 // fastForward records an already-committed block (state height at or above
 // its number) without re-running validation or touching the state: the
-// block is appended to the chain if missing, and its transaction IDs are
-// registered for duplicate screening. The block's metadata codes are kept
-// as delivered — a block re-delivered by the orderer carries none; the
-// authoritative codes live with peers that validated it and in the durable
-// state itself. No commit events are emitted (listeners attached after a
-// restart should not see historical commits replayed).
+// block is appended to the channel's chain if missing, and its transaction
+// IDs are registered for duplicate screening. The block's metadata codes
+// are kept as delivered — a block re-delivered by the orderer carries
+// none; the authoritative codes live with peers that validated it and in
+// the durable state itself. No commit events are emitted (listeners
+// attached after a restart should not see historical commits replayed).
 //
 // A re-delivered block is never accepted unverified where a local hash
 // exists: a block the chain stores (or the checkpoint block itself) must
@@ -176,41 +179,42 @@ func (p *Peer) CommitBlock(block *ledger.Block) (CommitResult, error) {
 // duplicate-screening set or masquerade as committed history. Blocks from
 // before the checkpoint have no local hash; they are acknowledged without
 // registering anything.
-func (p *Peer) fastForward(stored *ledger.Block) (CommitResult, error) {
+func (p *Peer) fastForward(rt *channel.Runtime, stored *ledger.Block) (CommitResult, error) {
 	num := stored.Header.Number
 	switch {
-	case num >= p.chain.Height():
+	case num >= rt.Chain().Height():
 		// Missing from the chain (e.g. a checkpointed chain receiving the
 		// block right after its checkpoint): Append hash-verifies it.
-		if err := p.chain.Append(stored); err != nil {
-			return CommitResult{}, fmt.Errorf("peer %s: fast-forwarding block %d: %w", p.cfg.Name, num, err)
+		if err := rt.Chain().Append(stored); err != nil {
+			return CommitResult{}, fmt.Errorf("peer %s: fast-forwarding block %d on %s: %w", p.cfg.Name, num, rt.ID(), err)
 		}
-	case num >= p.chain.FirstNumber():
+	case num >= rt.Chain().FirstNumber():
 		// Locally stored: the re-delivered copy must be the same block.
-		local, err := p.chain.Get(num)
+		local, err := rt.Chain().Get(num)
 		if err != nil {
-			return CommitResult{}, fmt.Errorf("peer %s: fast-forwarding block %d: %w", p.cfg.Name, num, err)
+			return CommitResult{}, fmt.Errorf("peer %s: fast-forwarding block %d on %s: %w", p.cfg.Name, num, rt.ID(), err)
 		}
 		if !bytes.Equal(local.HeaderHash(), stored.HeaderHash()) {
-			return CommitResult{}, fmt.Errorf("peer %s: re-delivered block %d does not match the committed block", p.cfg.Name, num)
+			return CommitResult{}, fmt.Errorf("peer %s: re-delivered block %d on %s does not match the committed block", p.cfg.Name, num, rt.ID())
 		}
 	default:
 		// Pre-checkpoint history. The checkpoint block itself is still
 		// verifiable against the recorded hash; anything earlier is not —
 		// acknowledge it without trusting its contents (the durable state
 		// already reflects the true history).
-		if cpNum, cpHash, ok := p.chain.Checkpoint(); ok && num == cpNum {
+		if cpNum, cpHash, ok := rt.Chain().Checkpoint(); ok && num == cpNum {
 			if !bytes.Equal(stored.HeaderHash(), cpHash) {
-				return CommitResult{}, fmt.Errorf("peer %s: re-delivered block %d does not match the chain checkpoint", p.cfg.Name, num)
+				return CommitResult{}, fmt.Errorf("peer %s: re-delivered block %d on %s does not match the chain checkpoint", p.cfg.Name, num, rt.ID())
 			}
 			break
 		}
-		return CommitResult{BlockNum: num, FastForwarded: true}, nil
+		return CommitResult{ChannelID: rt.ID(), BlockNum: num, FastForwarded: true}, nil
 	}
 	for _, tx := range stored.Transactions {
-		p.committedIDs[tx.ID] = struct{}{}
+		rt.MarkCommitted(tx.ID)
 	}
 	return CommitResult{
+		ChannelID:     rt.ID(),
 		BlockNum:      num,
 		Codes:         stored.Metadata.ValidationCodes,
 		FastForwarded: true,
@@ -236,14 +240,33 @@ func decodeBlock(block *ledger.Block) (stored, view *ledger.Block, err error) {
 	return stored, view, nil
 }
 
-// markDuplicates fails transactions whose ID was already committed or
-// appeared earlier in the same block (the paper's system model relies on
-// peers to identify duplicates; first occurrence wins). Besides the
-// in-memory set, the durable seen-transaction markers are consulted, so
-// screening covers history committed before a restart.
-func (p *Peer) markDuplicates(view *ledger.Block, codes []ledger.ValidationCode) {
+// markWrongChannel fails transactions endorsed for a different channel
+// than the one this block is being committed on. Endorsement signatures
+// cover the transaction's own ChannelID, so a valid envelope for ch1
+// replayed into ch2's block stream would otherwise pass every later check
+// (duplicate screening is deliberately channel-local, and MVCC would
+// validate its reads against the wrong channel's versions). An empty
+// ChannelID is also rejected: every endorsed envelope names its channel.
+func markWrongChannel(channelID string, view *ledger.Block, codes []ledger.ValidationCode) {
 	for i, tx := range view.Transactions {
-		if _, seen := p.committedIDs[tx.ID]; seen || p.db.GetMeta(txSeenMetaKey(tx.ID)) != nil {
+		if codes[i] == ledger.CodeNotValidated && tx.ChannelID != channelID {
+			codes[i] = ledger.CodeWrongChannel
+		}
+	}
+}
+
+// markDuplicates fails transactions whose ID was already committed on this
+// channel or appeared earlier in the same block (the paper's system model
+// relies on peers to identify duplicates; first occurrence wins). Besides
+// the in-memory set, the channel's durable seen-transaction markers are
+// consulted, so screening covers history committed before a restart.
+// Screening is channel-local: the same ID on another channel is a
+// different transaction (Fabric's ledgers are independent per channel).
+func (p *Peer) markDuplicates(rt *channel.Runtime, view *ledger.Block, codes []ledger.ValidationCode) {
+	for i, tx := range view.Transactions {
+		// Only still-undecided transactions: a WRONG_CHANNEL rejection
+		// must not be relabeled as a dedup hit.
+		if codes[i] == ledger.CodeNotValidated && rt.WasCommitted(tx.ID) {
 			codes[i] = ledger.CodeDuplicate
 		}
 	}

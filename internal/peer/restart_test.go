@@ -2,9 +2,11 @@ package peer
 
 import (
 	"fmt"
+	"path/filepath"
 	"reflect"
 	"testing"
 
+	"fabriccrdt/internal/channel"
 	"fabriccrdt/internal/cryptoid"
 	"fabriccrdt/internal/ledger"
 	"fabriccrdt/internal/orderer"
@@ -35,7 +37,7 @@ func snapshotState(p *Peer, keys ...string) map[string]string {
 	for _, key := range keys {
 		out["meta/"+key] = string(p.DB().GetMeta(key))
 	}
-	out["meta/"+checkpointMetaKey] = string(p.DB().GetMeta(checkpointMetaKey))
+	out["meta/"+channel.MetaCheckpoint] = string(p.DB().GetMeta(channel.MetaCheckpoint))
 	return out
 }
 
@@ -222,7 +224,14 @@ func TestFastForwardRejectsForgedBlocks(t *testing.T) {
 	if _, err := env.peer.CommitBlock(forged); err == nil {
 		t.Fatal("forged re-delivered block accepted")
 	}
-	if _, seen := env.peer.committedIDs["forged"]; seen {
+	rt, err := env.peer.runtime("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Lock()
+	seen := rt.WasCommitted("forged")
+	rt.Unlock()
+	if seen {
 		t.Fatal("forged block's tx ID entered duplicate screening")
 	}
 
@@ -255,7 +264,9 @@ func TestFastForwardRejectsForgedBlocks(t *testing.T) {
 // fast-forward silently swallow every new block up to that height.
 func TestNewRejectsDamagedStore(t *testing.T) {
 	dir := t.TempDir()
-	db, err := statedb.NewDisk(dir)
+	// The peer opens each channel's store under DataDir/<channel-ID>;
+	// damage the store where channel "ch1" will look for it.
+	db, err := statedb.NewDisk(filepath.Join(dir, "ch1"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,18 +293,33 @@ func TestNewRejectsDamagedStore(t *testing.T) {
 	}
 }
 
-// TestNewRejectsBadBackendConfig covers the selection plumbing: unknown
-// backend names and a disk backend without a data directory must fail
-// construction.
+// TestNewRejectsBadBackendConfig covers the selection plumbing end to end:
+// unknown backend names and a disk backend without a data directory must
+// fail peer construction (the per-backend matrix itself is unit-tested in
+// internal/channel).
 func TestNewRejectsBadBackendConfig(t *testing.T) {
+	ca, err := cryptoid.NewCA("Org1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	signer, err := ca.Issue("Org1.peer0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newPeer := func(committer CommitterConfig) (*Peer, error) {
+		return New(Config{
+			Name: "Org1.peer0", MSPID: "Org1", ChannelID: "ch1",
+			Committer: committer,
+		}, signer, cryptoid.NewMSP())
+	}
 	cases := map[string]CommitterConfig{
 		"unknown-backend":  {Backend: "couchdb"},
 		"disk-no-datadir":  {Backend: BackendDisk},
 		"misspelled-entry": {Backend: "Memory"},
 	}
 	for name, committer := range cases {
-		if _, err := newStateDB(committer); err == nil {
-			t.Errorf("%s: newStateDB accepted %+v", name, committer)
+		if _, err := newPeer(committer); err == nil {
+			t.Errorf("%s: New accepted %+v", name, committer)
 		}
 	}
 	for _, committer := range []CommitterConfig{
@@ -303,11 +329,11 @@ func TestNewRejectsBadBackendConfig(t *testing.T) {
 		{StateShards: 8},
 		{Backend: BackendDisk, DataDir: t.TempDir()},
 	} {
-		db, err := newStateDB(committer)
+		p, err := newPeer(committer)
 		if err != nil {
-			t.Errorf("newStateDB(%+v): %v", committer, err)
+			t.Errorf("New(%+v): %v", committer, err)
 			continue
 		}
-		db.Close()
+		p.Close()
 	}
 }

@@ -30,6 +30,13 @@ type IoTParams struct {
 	// ConflictPct is the percentage (0–100) of transactions that target
 	// the shared hot key set; the rest touch per-transaction unique keys.
 	ConflictPct int
+	// Channels is the channel mix: transactions are assigned round-robin
+	// over this list (Spec(i).Channel), sharding an experiment's load over
+	// a multi-channel network. Empty means "single channel" — Channel
+	// stays "" and the caller's bound channel applies. Keys are
+	// channel-local state, so the hot-key set exists independently per
+	// channel and transactions only ever conflict within their channel.
+	Channels []string
 	// Seed makes the conflict assignment deterministic.
 	Seed int64
 }
@@ -67,8 +74,11 @@ type Write struct {
 type TxSpec struct {
 	Seq         int
 	Conflicting bool
-	ReadKeys    []string
-	Writes      []Write
+	// Channel is the channel this transaction submits on ("" when the
+	// generator has no channel mix configured).
+	Channel  string
+	ReadKeys []string
+	Writes   []Write
 }
 
 // IoTGenerator deterministically derives transaction specs from indexes.
@@ -105,6 +115,17 @@ func (g *IoTGenerator) HotKeys() []string {
 	return keys
 }
 
+// ChannelFor returns the channel transaction i submits on: round-robin
+// over the configured channel mix, or "" when none is configured. The
+// assignment is a pure function of (params, i) like the rest of the spec,
+// so simulation runs stay reproducible.
+func (g *IoTGenerator) ChannelFor(i int) string {
+	if len(g.params.Channels) == 0 {
+		return ""
+	}
+	return g.params.Channels[i%len(g.params.Channels)]
+}
+
 // Conflicting reports whether transaction i targets the hot keys.
 func (g *IoTGenerator) Conflicting(i int) bool {
 	switch g.params.ConflictPct {
@@ -120,7 +141,7 @@ func (g *IoTGenerator) Conflicting(i int) bool {
 // Spec derives transaction i's plan. The same (params, i) always yields the
 // same spec, which is what makes simulation runs reproducible.
 func (g *IoTGenerator) Spec(i int) TxSpec {
-	spec := TxSpec{Seq: i, Conflicting: g.Conflicting(i)}
+	spec := TxSpec{Seq: i, Conflicting: g.Conflicting(i), Channel: g.ChannelFor(i)}
 	key := func(j int) string {
 		if spec.Conflicting {
 			return hotKey(j)

@@ -181,3 +181,29 @@ func TestInitialValueIsValidJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestChannelMix(t *testing.T) {
+	// No mix configured: the channel stays empty (caller's bound channel).
+	g := NewIoT(IoTParams{})
+	if got := g.Spec(7).Channel; got != "" {
+		t.Fatalf("Channel without mix = %q, want empty", got)
+	}
+	// A mix spreads transactions round-robin, deterministically.
+	g = NewIoT(IoTParams{Channels: []string{"ch1", "ch2", "ch3"}})
+	counts := make(map[string]int)
+	for i := 0; i < 30; i++ {
+		spec := g.Spec(i)
+		if spec.Channel != g.ChannelFor(i) {
+			t.Fatalf("Spec(%d).Channel = %q, ChannelFor = %q", i, spec.Channel, g.ChannelFor(i))
+		}
+		if again := g.Spec(i).Channel; again != spec.Channel {
+			t.Fatalf("channel assignment not deterministic at %d", i)
+		}
+		counts[spec.Channel]++
+	}
+	for _, ch := range []string{"ch1", "ch2", "ch3"} {
+		if counts[ch] != 10 {
+			t.Fatalf("channel mix unbalanced: %v", counts)
+		}
+	}
+}
