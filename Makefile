@@ -16,19 +16,24 @@ vet:
 build:
 	$(GO) build ./...
 
-test:
+# vet is part of the tier-1 gate: test and race refuse to run on code
+# that does not vet clean.
+test: vet
 	$(GO) test ./...
 
-race:
+race: vet
 	$(GO) test -race ./...
+
+BENCHES = 'BenchmarkCommitPipeline|BenchmarkCommitBackends|BenchmarkCommitChannels|BenchmarkCommitAsync'
 
 # Commit-pipeline benchmark; refreshes BENCH_commit.json.
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkCommitPipeline|BenchmarkCommitBackends|BenchmarkCommitChannels' -benchtime=20x .
+	$(GO) test -run xxx -bench $(BENCHES) -benchtime=20x .
 
 # One quick pass of the commit benchmark per state backend (memory,
-# sharded, disk), the worker sweep and the channel-scaling sweep
-# (1/2/4/8 channels) — enough for CI to refresh and archive
-# BENCH_commit.json without a long benchmark run.
+# sharded, disk), the worker sweep, the channel-scaling sweep
+# (1/2/4/8 channels) and the async-pipeline depth sweep (0/1/2/4) —
+# enough for CI to refresh and archive BENCH_commit.json without a long
+# benchmark run.
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkCommitPipeline|BenchmarkCommitBackends|BenchmarkCommitChannels' -benchtime=3x .
+	$(GO) test -run xxx -bench $(BENCHES) -benchtime=3x .

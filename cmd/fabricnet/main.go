@@ -11,6 +11,8 @@
 //	fabricnet -txs 2000 -rate 400 -block 50 -clients 8 -conflict 40
 //	fabricnet -channels channel1,channel2,channel3,channel4   # 4-way sharding
 //	fabricnet -backend disk -datadir ./net-state    # persistent peers
+//	fabricnet -pipeline 4 -backend disk -datadir ./net-state -fsync
+//	                             # durable peers, commits pipelined 4 deep
 //
 // Channels are the sharding unit: the workload generator assigns each
 // transaction a channel round-robin (workload.IoTParams.Channels), clients
@@ -46,9 +48,11 @@ func main() {
 		channelList = flag.String("channels", "channel1,channel2", "comma-separated channel list; each channel gets its own orderer and per-peer commit pipeline")
 		conflict    = flag.Int("conflict", 100, "percentage of transactions targeting each channel's shared hot key (paper Table 5)")
 		workers     = flag.Int("workers", 0, "commit-pipeline workers per peer per channel (0 = adaptive: NumCPU spread across channels)")
+		pipeline    = flag.Int("pipeline", 1, "async commit pipeline depth per (peer, channel): how many delivered blocks are decoded and endorsement-validated ahead of the serialized commit stage (0 = synchronous; outcomes are identical at every depth)")
 		shards      = flag.Int("shards", 1, "state database shards per peer (1 = single-lock map)")
 		backend     = flag.String("backend", "", "state backend per peer: memory|sharded|disk (default: memory, or sharded when -shards > 1)")
 		datadir     = flag.String("datadir", "", "data directory for -backend disk (one subdirectory per peer, then per channel)")
+		fsync       = flag.Bool("fsync", false, "fsync each peer's state log after every committed block (-backend disk only): closes the power-loss window; the async pipeline hides the added latency")
 		timings     = flag.Bool("timings", false, "print per-stage commit latencies per peer")
 	)
 	flag.Parse()
@@ -63,12 +67,18 @@ func main() {
 		if *datadir != "" {
 			fatal(fmt.Errorf("-datadir is only used with -backend disk; nothing would be persisted"))
 		}
+		if *fsync {
+			fatal(fmt.Errorf("-fsync is only used with -backend disk; there is no log to sync"))
+		}
 	case fabriccrdt.BackendDisk:
 		if *datadir == "" {
 			fatal(fmt.Errorf("-backend disk requires -datadir"))
 		}
 	default:
 		fatal(fmt.Errorf("unknown -backend %q (want memory, sharded or disk)", *backend))
+	}
+	if *pipeline < 0 {
+		fatal(fmt.Errorf("-pipeline must be >= 0 (got %d)", *pipeline))
 	}
 
 	// The paper's IoT workload generator is the transaction source: it
@@ -84,10 +94,12 @@ func main() {
 	cfg.Channels = channels
 	cfg.Orderer.BatchTimeout = 2 * time.Second
 	cfg.Committer = fabriccrdt.CommitterConfig{
-		Workers:     *workers,
-		StateShards: *shards,
-		Backend:     *backend,
-		DataDir:     *datadir,
+		Workers:        *workers,
+		Pipeline:       *pipeline,
+		StateShards:    *shards,
+		Backend:        *backend,
+		DataDir:        *datadir,
+		SyncEveryApply: *fsync,
 	}
 	net, err := fabriccrdt.NewNetwork(cfg)
 	if err != nil {
@@ -103,8 +115,8 @@ func main() {
 	if !*enableCRDT {
 		mode = "Fabric"
 	}
-	fmt.Printf("%s network: 3 orgs x 2 peers, %d channel(s) %v, block size %d, %d clients, %d txs at %.0f tx/s, %d%% conflicting\n",
-		mode, len(channels), channels, *blockSize, *clients, *totalTx, *rate, *conflict)
+	fmt.Printf("%s network: 3 orgs x 2 peers, %d channel(s) %v, block size %d, pipeline depth %d, %d clients, %d txs at %.0f tx/s, %d%% conflicting\n",
+		mode, len(channels), channels, *blockSize, *pipeline, *clients, *totalTx, *rate, *conflict)
 	for _, ch := range channels {
 		if h, err := net.Peers()[0].HeightOn(ch); err == nil && h > 0 {
 			fmt.Printf("resumed %s from %s: persisted state at block height %d, new blocks continue from %d\n",

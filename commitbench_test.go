@@ -152,7 +152,12 @@ type commitBenchEntry struct {
 	// block per channel, NsPerBlock is the wall time for the whole round
 	// (one block on every channel in parallel) and TxPerSec is the
 	// aggregate across channels.
-	Channels   int     `json:"channels"`
+	Channels int `json:"channels"`
+	// Pipeline is the async commit pipeline depth (0 for the synchronous
+	// per-block benchmarks). With Pipeline > 0, BlockTxs counts one block
+	// and NsPerBlock is wall time per block of the whole pipelined
+	// multi-block stream.
+	Pipeline   int     `json:"pipeline,omitempty"`
 	BlockTxs   int     `json:"block_txs"`
 	Workers    int     `json:"workers"`
 	NsPerBlock int64   `json:"ns_per_block"`
@@ -164,17 +169,47 @@ var (
 	commitBenchResults = make(map[string]commitBenchEntry)
 )
 
+// benchKey is one configuration's identity in BENCH_commit.json.
+func benchKey(e commitBenchEntry) string {
+	return fmt.Sprintf("%v/%s/%d/%d/%d/%d/%d", e.CRDT, e.Backend, e.Shards, e.Channels, e.Pipeline, e.BlockTxs, e.Workers)
+}
+
+// loadCommitBench seeds the in-memory result map from the committed
+// BENCH_commit.json, so running a SUBSET of the benchmarks updates those
+// configurations in place instead of silently deleting every other
+// dimension's entries from the file.
+func loadCommitBench() {
+	data, err := os.ReadFile("BENCH_commit.json")
+	if err != nil {
+		return // no prior results
+	}
+	var entries []commitBenchEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return // unreadable: the rewrite will replace it
+	}
+	for _, e := range entries {
+		if e.Channels == 0 {
+			e.Channels = 1
+		}
+		commitBenchResults[benchKey(e)] = e
+	}
+}
+
 // recordCommitBench keeps the latest measurement per configuration and
-// rewrites BENCH_commit.json (benchmarks re-run sub-benchmarks with growing
-// N; last = most accurate).
+// rewrites BENCH_commit.json, preserving entries of configurations this
+// run did not measure (benchmarks re-run sub-benchmarks with growing N;
+// last = most accurate).
 func recordCommitBench(b *testing.B, e commitBenchEntry) {
 	b.Helper()
 	commitBenchMu.Lock()
 	defer commitBenchMu.Unlock()
+	if len(commitBenchResults) == 0 {
+		loadCommitBench()
+	}
 	if e.Channels == 0 {
 		e.Channels = 1
 	}
-	commitBenchResults[fmt.Sprintf("%v/%s/%d/%d/%d/%d", e.CRDT, e.Backend, e.Shards, e.Channels, e.BlockTxs, e.Workers)] = e
+	commitBenchResults[benchKey(e)] = e
 	entries := make([]commitBenchEntry, 0, len(commitBenchResults))
 	for _, v := range commitBenchResults {
 		entries = append(entries, v)
@@ -192,6 +227,9 @@ func recordCommitBench(b *testing.B, e commitBenchEntry) {
 		}
 		if a.Channels != c.Channels {
 			return a.Channels < c.Channels
+		}
+		if a.Pipeline != c.Pipeline {
+			return a.Pipeline < c.Pipeline
 		}
 		if a.BlockTxs != c.BlockTxs {
 			return a.BlockTxs < c.BlockTxs
@@ -315,6 +353,121 @@ func BenchmarkCommitBackends(b *testing.B) {
 				CRDT: true, Backend: backend.name, Shards: backend.shards, BlockTxs: blockTxs, Workers: workers,
 				NsPerBlock: nsPerBlock, TxPerSec: txPerSec,
 			})
+		})
+	}
+}
+
+// endorsedStream assembles nBlocks hash-chained blocks of txsPerBlock
+// conflicting transactions each (unique IDs across the stream), endorsed
+// against the never-committing endorser — a deliver stream replayable on
+// any fresh fixture peer.
+func (f *commitFixture) endorsedStream(b *testing.B, nBlocks, txsPerBlock int) []*ledger.Block {
+	b.Helper()
+	creator, err := f.client.Identity.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	channelID := f.channels[0]
+	chain, err := f.endorser.ChainOn(channelID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	assembler := orderer.NewAssembler(chain.Last())
+	blocks := make([]*ledger.Block, 0, nBlocks)
+	for blk := 0; blk < nBlocks; blk++ {
+		txs := make([]*ledger.Transaction, txsPerBlock)
+		for i := range txs {
+			txID := fmt.Sprintf("stream-%d-%d", blk, i)
+			args := [][]byte{[]byte("record"), []byte(fmt.Sprintf("dev%d", i%4)), []byte(fmt.Sprintf("%d-%d", blk, i))}
+			resp, err := f.endorser.Endorse(peer.Proposal{
+				TxID: txID, ChannelID: channelID, Chaincode: "bench", Args: args, Creator: creator,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			txs[i] = &ledger.Transaction{
+				ID: txID, ChannelID: channelID, Chaincode: "bench", Creator: creator, Args: args,
+				RWSet:        resp.RWSet,
+				Endorsements: []ledger.Endorsement{{Endorser: resp.Endorser, Signature: resp.Signature}},
+			}
+		}
+		block, err := assembler.Assemble(orderer.Batch{Transactions: txs, Reason: orderer.CutMaxMessages})
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocks = append(blocks, block)
+	}
+	return blocks
+}
+
+// BenchmarkCommitAsync measures the async cross-block commit pipeline: a
+// 24-block deliver stream (10 CRDT transactions per block) driven through
+// Peer.CommitPipeline at depths 0/1/2/4 over the DURABLE peer
+// configuration (disk backend, fsync per committed block). Depth 0 is the
+// synchronous baseline; depth >= 1 decodes and endorsement-validates
+// block N+1 while block N is in merge/mvcc/apply/append. Workers is
+// pinned to 1 so intra-block parallelism contributes nothing — the
+// measured speedup is pure cross-block overlap. On a multi-core host the
+// whole prepare stage (decode + ed25519 verification) hides behind the
+// previous block's commit; on a single-core host only finalize's true
+// waits (the per-block fsync) can be hidden, which is why the benchmark
+// runs the durable configuration — it is both the production shape and
+// the one with real latency to hide anywhere. The reported figure is the
+// MEDIAN iteration (fsync hiccups and host jitter on this shared
+// single-core container are outliers that would swamp the overlap signal
+// in a mean). Commit outcomes are identical at every depth
+// (TestCommitPipelineDepthDeterminism); only wall clock moves.
+func BenchmarkCommitAsync(b *testing.B) {
+	const nBlocks, blockTxs = 24, 10
+	depths := []int{0, 1, 2, 4}
+	fix := newCommitFixture(b, true)
+	blocks := fix.endorsedStream(b, nBlocks, blockTxs)
+	runs := make(map[int][]time.Duration, len(depths))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Depths are interleaved within each iteration (not one
+		// sub-benchmark window per depth) so a host-load spike on this
+		// shared container degrades every depth equally instead of
+		// biasing whichever depth it lands on.
+		for _, depth := range depths {
+			b.StopTimer()
+			p := fix.newPeer(b, peer.CommitterConfig{
+				Workers: 1, Pipeline: depth,
+				Backend: peer.BackendDisk, DataDir: b.TempDir(), SyncEveryApply: true,
+			})
+			deliver := make(chan *ledger.Block, len(blocks))
+			for _, blk := range blocks {
+				deliver <- blk
+			}
+			close(deliver)
+			b.StartTimer()
+			start := time.Now()
+			if err := p.CommitPipeline(fix.channels[0], deliver, depth); err != nil {
+				b.Fatal(err)
+			}
+			runs[depth] = append(runs[depth], time.Since(start))
+			b.StopTimer()
+			if h := p.Height(); h != nBlocks {
+				b.Fatalf("depth %d: height %d, want %d", depth, h, nBlocks)
+			}
+			if err := p.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	for _, depth := range depths {
+		rs := runs[depth]
+		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+		median := rs[len(rs)/2]
+		nsPerBlock := median.Nanoseconds() / nBlocks
+		txPerSec := float64(nBlocks*blockTxs) / (float64(median.Nanoseconds()) / 1e9)
+		b.ReportMetric(txPerSec, fmt.Sprintf("tx/s@depth%d", depth))
+		recordCommitBench(b, commitBenchEntry{
+			CRDT: true, Backend: peer.BackendDisk, Pipeline: depth,
+			BlockTxs: blockTxs, Workers: 1,
+			NsPerBlock: nsPerBlock, TxPerSec: txPerSec,
 		})
 	}
 }

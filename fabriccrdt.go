@@ -49,12 +49,14 @@ type (
 	// EngineOptions tunes the CRDT merge engine.
 	EngineOptions = core.Options
 	// CommitterConfig tunes every peer's staged commit pipeline: the
-	// endorsement-validation worker pool, the merge engine's key-group
-	// parallelism, and the world-state backend (Backend/StateShards/
-	// DataDir — see the Backend* constants). One configuration applies
-	// per channel: a zero Workers is resolved adaptively (the host's CPUs
-	// divided across the network's channels); any Workers setting
-	// produces identical commit results.
+	// endorsement-validation worker pool, the async cross-block pipeline
+	// depth (Pipeline: how many delivered blocks are decoded and
+	// endorsement-validated ahead of the serialized commit stage; 0 =
+	// synchronous), and the world-state backend (Backend/StateShards/
+	// DataDir/SyncEveryApply — see the Backend* constants). One
+	// configuration applies per channel: a zero Workers is resolved
+	// adaptively (the host's CPUs divided across the network's channels);
+	// any Workers or Pipeline setting produces identical commit results.
 	CommitterConfig = peer.CommitterConfig
 	// CommitStageSummary aggregates one commit-pipeline stage's latencies,
 	// as returned by Peer.CommitTimings.

@@ -35,6 +35,17 @@ type CommitterConfig struct {
 	// (AdaptiveWorkers). Validation codes, world state and persisted CRDT
 	// documents are identical at every setting.
 	Workers int
+	// Pipeline is the async commit pipeline depth per (peer, channel)
+	// deliver loop: how many delivered blocks may sit decoded and
+	// endorsement-validated ahead of the serialized finalize stage
+	// (dedup/merge/mvcc/apply/append). 0 = synchronous (each block fully
+	// commits before the next is touched); N >= 1 overlaps the stateless
+	// prepare work of blocks N+1..N+depth with the current block's commit
+	// (DESIGN.md §7). Commit outcomes are byte-identical at every depth;
+	// only wall-clock behavior changes. Ignored by direct CommitBlockOn
+	// calls — it configures deliver-loop drivers (fabricnet, and any
+	// embedder of Peer.CommitPipeline).
+	Pipeline int
 	// StateShards selects the sharded statedb backend with that many
 	// independently locked shards; 0 or 1 keeps the trivial single-lock
 	// map backend. Ignored unless Backend is "" or BackendSharded.
@@ -48,6 +59,13 @@ type CommitterConfig struct {
 	// fabricnet derives per-peer subdirectories automatically. Each channel
 	// persists under DataDir/<channel-ID>.
 	DataDir string
+	// SyncEveryApply makes the disk backend fsync its log after every
+	// committed block, closing the power-loss durability window at the
+	// cost of one fsync per block (DESIGN.md §4). Disk backend only.
+	// This is the configuration where the async commit pipeline pays off
+	// even on a single core: block N's fsync wait is hidden behind block
+	// N+1's decode + endorsement validation (DESIGN.md §7).
+	SyncEveryApply bool
 }
 
 // AdaptiveWorkers is the commit-pipeline worker count used when
@@ -105,7 +123,8 @@ func newStateDB(channelID string, c CommitterConfig) (*statedb.DB, error) {
 		if err := rejectLegacyStore(c.DataDir); err != nil {
 			return nil, err
 		}
-		return statedb.NewDisk(filepath.Join(c.DataDir, channelID))
+		return statedb.NewDiskWithOptions(filepath.Join(c.DataDir, channelID),
+			statedb.DiskOptions{SyncEveryApply: c.SyncEveryApply})
 	default:
 		return nil, fmt.Errorf("unknown state backend %q (want %s, %s or %s)",
 			c.Backend, BackendMemory, BackendSharded, BackendDisk)

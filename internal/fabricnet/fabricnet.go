@@ -2,7 +2,9 @@
 // with CAs, peers, and one ordering service per channel — in the paper's
 // topology (§7.2: three organizations, two peers each, one orderer, one
 // channel) and wires the live delivery pipeline: each channel's orderer
-// deliver channels feed one committer goroutine per (peer, channel) pair.
+// deliver channels feed one committer pipeline per (peer, channel) pair
+// (peer.CommitPipeline — optionally preparing blocks ahead of the
+// serialized commit stage, Config.Committer.Pipeline).
 //
 // Channels are the unit of sharding (Config.Channels): every channel has
 // its own ordering service, block numbering, and per-peer commit runtime,
@@ -107,7 +109,7 @@ type Network struct {
 	stopped bool
 	wg      sync.WaitGroup
 	errMu   sync.Mutex
-	charge  []error
+	errs    []error
 }
 
 // New builds the network: CAs, peer identities, peers, and one ordering
@@ -253,9 +255,19 @@ func (n *Network) InstallChaincode(name string, cc chaincode.Chaincode, policyEx
 }
 
 // Start subscribes every peer to every channel's ordering service and
-// launches one committer goroutine per (peer, channel) pair — channels
+// launches one committer pipeline per (peer, channel) pair — channels
 // deliver and commit independently, so a slow channel never stalls the
-// others.
+// others. Committer.Pipeline sets each pipeline's depth: 0 commits each
+// block synchronously; N >= 1 decodes and endorsement-validates up to N
+// delivered blocks ahead of the serialized commit stage (DESIGN.md §7).
+//
+// A commit failure on one (peer, channel) is recorded (Err) and stops
+// committing on that pair only; its pipeline keeps DRAINING the deliver
+// stream until the orderer closes it, so an abandoned subscription never
+// applies backpressure to the channel's delivery. (The old committer
+// returned on first error with its deliver buffer full — once the orderer
+// filled the abandoned buffer, the whole channel's Broadcast/Flush/Stop
+// wedged.)
 func (n *Network) Start() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -263,6 +275,7 @@ func (n *Network) Start() {
 		return
 	}
 	n.started = true
+	depth := n.cfg.Committer.Pipeline
 	for _, id := range n.channels.IDs() {
 		for _, p := range n.peers {
 			deliver, err := n.channels.Subscribe(id)
@@ -273,11 +286,8 @@ func (n *Network) Start() {
 			n.wg.Add(1)
 			go func(p *peer.Peer, id string, deliver <-chan *ledger.Block) {
 				defer n.wg.Done()
-				for block := range deliver {
-					if _, err := p.CommitBlockOn(id, block); err != nil {
-						n.recordError(fmt.Errorf("peer %s: channel %s: %w", p.Name(), id, err))
-						return
-					}
+				if err := p.CommitPipeline(id, deliver, depth); err != nil {
+					n.recordError(fmt.Errorf("peer %s: channel %s: %w", p.Name(), id, err))
 				}
 			}(p, id, deliver)
 		}
@@ -287,17 +297,17 @@ func (n *Network) Start() {
 func (n *Network) recordError(err error) {
 	n.errMu.Lock()
 	defer n.errMu.Unlock()
-	n.charge = append(n.charge, err)
+	n.errs = append(n.errs, err)
 }
 
-// Err returns the first committer error, if any.
+// Err aggregates every recorded failure — committer errors on any
+// (peer, channel) pair, subscription failures, backend close errors —
+// with errors.Join; nil when the run was clean. errors.Is/As see through
+// the join, and the message lists every cause one per line.
 func (n *Network) Err() error {
 	n.errMu.Lock()
 	defer n.errMu.Unlock()
-	if len(n.charge) == 0 {
-		return nil
-	}
-	return n.charge[0]
+	return errors.Join(n.errs...)
 }
 
 // Stop flushes every channel's orderer, waits for all peers to drain their

@@ -237,6 +237,11 @@ type Chain struct {
 	// restored from a checkpoint (checkpointed true).
 	checkpointHash []byte
 	checkpointed   bool
+	// verifiedNext is the block pointer that passed the most recent
+	// CheckNext, letting a subsequent Append of the same (unmodified)
+	// block skip recomputing the data hash — the expensive half of the
+	// verification. Cleared whenever the chain advances.
+	verifiedNext *Block
 }
 
 // NewChain returns a chain containing only the genesis block for the given
@@ -335,11 +340,46 @@ func (c *Chain) Get(n uint64) (*Block, error) {
 func (c *Chain) Append(b *Block) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.checkNextLocked(b); err != nil {
+		return err
+	}
+	c.blocks = append(c.blocks, b)
+	c.nextNumber++
+	c.nextPrevHash = b.HeaderHash()
+	c.verifiedNext = nil
+	return nil
+}
+
+// CheckNext verifies that b is the block this chain expects next — the
+// right number, prev-hash linkage and data hash — without appending it.
+// Committers run it before applying the block's writes: Append re-verifies
+// at the end of the commit, but by then the writes (and, on a durable
+// backend, the chain checkpoint) would already be applied — a
+// chain-invalid block must be rejected while the state is still untouched.
+//
+// A block that passes is remembered by pointer: appending that same block
+// — unmodified, transactions included — skips the data-hash recompute
+// (the number and prev-hash linkage are still re-checked, which also
+// guards the memo against the chain having advanced in between).
+func (c *Chain) CheckNext(b *Block) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkNextLocked(b); err != nil {
+		return err
+	}
+	c.verifiedNext = b
+	return nil
+}
+
+func (c *Chain) checkNextLocked(b *Block) error {
 	if b.Header.Number != c.nextNumber {
 		return fmt.Errorf("%w: got %d, want %d", ErrBadNumber, b.Header.Number, c.nextNumber)
 	}
 	if !hashEqual(b.Header.PrevHash, c.nextPrevHash) {
 		return fmt.Errorf("%w: block %d", ErrBadPrevHash, b.Header.Number)
+	}
+	if b == c.verifiedNext {
+		return nil
 	}
 	dataHash, err := ComputeDataHash(b.Transactions)
 	if err != nil {
@@ -348,9 +388,6 @@ func (c *Chain) Append(b *Block) error {
 	if !hashEqual(b.Header.DataHash, dataHash) {
 		return fmt.Errorf("%w: block %d", ErrBadDataHash, b.Header.Number)
 	}
-	c.blocks = append(c.blocks, b)
-	c.nextNumber++
-	c.nextPrevHash = b.HeaderHash()
 	return nil
 }
 

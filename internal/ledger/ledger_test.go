@@ -225,3 +225,41 @@ func BenchmarkComputeDataHash(b *testing.B) {
 		}
 	}
 }
+
+func TestChainCheckNext(t *testing.T) {
+	c := NewChain("ch1")
+	good := nextBlock(t, c, []*Transaction{makeTx("a")})
+
+	// Pre-flight of a valid next block passes and does not append.
+	if err := c.CheckNext(good); err != nil {
+		t.Fatalf("CheckNext(valid) = %v", err)
+	}
+	if c.Height() != 1 {
+		t.Fatalf("CheckNext appended: height = %d", c.Height())
+	}
+	// The memo path: appending the pre-flighted block still works.
+	if err := c.Append(good); err != nil {
+		t.Fatalf("Append after CheckNext: %v", err)
+	}
+
+	// Wrong number (replays the same block) is rejected.
+	if err := c.CheckNext(good); err == nil {
+		t.Fatal("CheckNext accepted an already-appended number")
+	}
+	// Severed prev-hash is rejected.
+	bad := nextBlock(t, c, []*Transaction{makeTx("b")})
+	bad.Header.PrevHash = []byte("severed")
+	if err := c.CheckNext(bad); err == nil {
+		t.Fatal("CheckNext accepted a severed prev-hash")
+	}
+	// Data-hash mismatch is rejected, and a rejected block is not
+	// memoized: Append must fail too.
+	forged := nextBlock(t, c, []*Transaction{makeTx("c")})
+	forged.Header.DataHash = []byte("forged")
+	if err := c.CheckNext(forged); err == nil {
+		t.Fatal("CheckNext accepted a forged data hash")
+	}
+	if err := c.Append(forged); err == nil {
+		t.Fatal("Append accepted a forged data hash")
+	}
+}

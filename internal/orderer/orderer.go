@@ -196,17 +196,89 @@ func (a *Assembler) Assemble(batch Batch) (*ledger.Block, error) {
 // Service is the live (goroutine-driven) ordering service: Broadcast
 // serializes submissions into a total order, the cutter batches them, and
 // completed blocks fan out to every subscribed deliver channel.
+//
+// Fan-out never blocks the service: emit appends each block to a
+// per-subscriber handoff queue under the service mutex (an append, never a
+// channel send), and a forwarder goroutine per subscriber delivers from
+// its queue outside the mutex. A stuck, slow or abandoned subscriber
+// therefore delays only its own delivery — Broadcast, Flush and Stop stay
+// responsive, and other subscribers keep receiving. The cost of that
+// guarantee is an unbounded queue per subscriber: a consumer that stops
+// draining accrues the blocks it is missing until it resumes or the
+// service stops (fabricnet's committers always drain, even after a commit
+// error, precisely so those queues stay empty).
 type Service struct {
 	cfg Config
 
 	mu        sync.Mutex
 	cutter    *Cutter
 	assembler *Assembler
-	subs      []chan *ledger.Block
+	subs      []*subscription
 	timer     *time.Timer
 	stopped   bool
+}
 
-	wg sync.WaitGroup
+// subscription is one subscriber's delivery state: the handoff queue emit
+// appends to under the service mutex, and the out channel its forwarder
+// goroutine feeds from that queue.
+type subscription struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*ledger.Block
+	closed bool
+	out    chan *ledger.Block
+}
+
+func newSubscription() *subscription {
+	s := &subscription{out: make(chan *ledger.Block, 64)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// push appends a block to the handoff queue. It never blocks (the queue is
+// a slice), which is what keeps the service's emit safe under its mutex.
+func (s *subscription) push(b *ledger.Block) {
+	s.mu.Lock()
+	if !s.closed {
+		s.queue = append(s.queue, b)
+		s.cond.Signal()
+	}
+	s.mu.Unlock()
+}
+
+// close marks the subscription finished: the forwarder delivers what is
+// already queued, then closes the out channel. Never blocks.
+func (s *subscription) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// forward runs as the subscription's forwarder goroutine: it moves blocks
+// from the queue to the out channel in order, blocking only this
+// subscriber when its consumer is slow. After close it drains the
+// remaining queue (so Stop's final flush reaches consumers that keep
+// reading) and then closes out; a consumer that never reads again parks
+// its forwarder on the pending send until process exit — shutdown delivery
+// is best-effort, never a deadlock of the service itself.
+func (s *subscription) forward() {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			close(s.out)
+			return
+		}
+		b := s.queue[0]
+		s.queue[0] = nil
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		s.out <- b
+	}
 }
 
 // NewService returns a started ordering service chaining blocks after
@@ -231,14 +303,27 @@ func NewServiceAt(cfg Config, afterNumber uint64, afterHash []byte) *Service {
 var ErrStopped = errors.New("orderer: service stopped")
 
 // Subscribe registers a deliver channel; all blocks cut after the call are
-// sent to it. The channel is buffered: a slow peer applies backpressure to
-// the ordering service just like a saturated deliver connection would.
+// sent to it, in order, by a dedicated forwarder goroutine over an
+// unbounded handoff queue. A slow subscriber lags behind (its queue grows
+// with the blocks it has not consumed) but never applies backpressure to
+// the ordering service or to other subscribers. Consumers must drain the
+// channel until it is closed — including after deciding to stop
+// committing — or they strand their queued blocks.
 func (s *Service) Subscribe() <-chan *ledger.Block {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ch := make(chan *ledger.Block, 64)
-	s.subs = append(s.subs, ch)
-	return ch
+	if s.stopped {
+		// No blocks will ever be cut again: yield an already-closed
+		// stream instead of one nobody would ever close (Stop has
+		// already swept the subscriber list).
+		ch := make(chan *ledger.Block)
+		close(ch)
+		return ch
+	}
+	sub := newSubscription()
+	s.subs = append(s.subs, sub)
+	go sub.forward()
+	return sub.out
 }
 
 // Broadcast submits a transaction for ordering. The mutex acquisition order
@@ -290,7 +375,12 @@ func (s *Service) onTimeout() {
 	s.armTimerLocked()
 }
 
-// emit assembles and fans a batch out to subscribers (mu held).
+// emit assembles a batch and hands the block to every subscriber's queue
+// (mu held). The handoff is an append, never a channel send, so emit —
+// and every caller holding the service mutex — cannot block on a stuck
+// subscriber. (The previous implementation sent into bounded subscriber
+// channels right here; one abandoned subscriber filling its buffer then
+// wedged Broadcast, Flush and Stop behind the mutex.)
 func (s *Service) emit(batch Batch) error {
 	if len(batch.Transactions) == 0 {
 		return nil
@@ -299,8 +389,8 @@ func (s *Service) emit(batch Batch) error {
 	if err != nil {
 		return err
 	}
-	for _, ch := range s.subs {
-		ch <- block
+	for _, sub := range s.subs {
+		sub.push(block)
 	}
 	return nil
 }
@@ -317,7 +407,10 @@ func (s *Service) Flush() {
 }
 
 // Stop flushes pending transactions, closes all deliver channels and
-// rejects further broadcasts.
+// rejects further broadcasts. Shutdown delivery is best-effort: queued
+// blocks (including the final flush) are delivered to subscribers that
+// keep draining, after which their channels close; Stop itself never
+// waits on a subscriber, so it returns even when one has stopped reading.
 func (s *Service) Stop() {
 	s.mu.Lock()
 	if s.stopped {
@@ -335,8 +428,7 @@ func (s *Service) Stop() {
 	subs := s.subs
 	s.subs = nil
 	s.mu.Unlock()
-	for _, ch := range subs {
-		close(ch)
+	for _, sub := range subs {
+		sub.close()
 	}
-	s.wg.Wait()
 }

@@ -240,6 +240,138 @@ func TestServiceStopFlushesAndCloses(t *testing.T) {
 	}
 }
 
+// within fails the test if fn does not return in the given time — the
+// shape of every fan-out regression below: the old implementation
+// deadlocked (fan-out sent into bounded subscriber channels while holding
+// the service mutex), so "returns at all" is the property under test.
+func within(t *testing.T, d time.Duration, what string, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatalf("%s did not return within %v (fan-out wedged)", what, d)
+	}
+}
+
+// TestBroadcastSurvivesStuckSubscriber is the deadlock regression: a
+// subscriber that never reads must not wedge Broadcast or Flush, and a
+// healthy subscriber on the same service must keep receiving every block
+// in order. The 200 single-transaction blocks far exceed the old 64-slot
+// subscriber buffer that used to fill and block emit under the mutex.
+func TestBroadcastSurvivesStuckSubscriber(t *testing.T) {
+	genesis := ledger.NewChain("ch1").Last()
+	s := NewService(Config{MaxMessageCount: 1, BatchTimeout: time.Hour}, genesis)
+	_ = s.Subscribe() // never read
+	healthy := s.Subscribe()
+
+	const blocks = 200
+	received := make(chan []*ledger.Block, 1)
+	go func() {
+		var got []*ledger.Block
+		for b := range healthy {
+			got = append(got, b)
+		}
+		received <- got
+	}()
+	within(t, 10*time.Second, "Broadcast x200", func() {
+		for i := 0; i < blocks; i++ {
+			if err := s.Broadcast(smallTx("t" + itoa(i))); err != nil {
+				t.Errorf("broadcast %d: %v", i, err)
+				return
+			}
+		}
+	})
+	within(t, 5*time.Second, "Flush", s.Flush)
+	within(t, 5*time.Second, "Stop", s.Stop)
+
+	got := <-received
+	if len(got) != blocks {
+		t.Fatalf("healthy subscriber received %d blocks, want %d", len(got), blocks)
+	}
+	for i, b := range got {
+		if b.Header.Number != uint64(i+1) || len(b.Transactions) != 1 || b.Transactions[0].ID != "t"+itoa(i) {
+			t.Fatalf("block %d out of order: number %d, tx %q", i, b.Header.Number, b.Transactions[0].ID)
+		}
+	}
+}
+
+// TestStopWithNeverReadingSubscriber: Stop used to flush pending
+// transactions into the subscriber's full buffer while holding the mutex,
+// blocking forever. It must now return; shutdown delivery to the dead
+// subscriber is best-effort.
+func TestStopWithNeverReadingSubscriber(t *testing.T) {
+	genesis := ledger.NewChain("ch1").Last()
+	s := NewService(Config{MaxMessageCount: 1, BatchTimeout: time.Hour}, genesis)
+	_ = s.Subscribe() // never read
+	within(t, 10*time.Second, "Broadcast x100", func() {
+		for i := 0; i < 100; i++ {
+			if err := s.Broadcast(smallTx("t" + itoa(i))); err != nil {
+				t.Errorf("broadcast %d: %v", i, err)
+				return
+			}
+		}
+	})
+	// One transaction left pending so Stop's flush path also runs.
+	if err := s.Broadcast(smallTx("pending")); err != nil {
+		t.Fatal(err)
+	}
+	within(t, 5*time.Second, "Stop", s.Stop)
+	if err := s.Broadcast(smallTx("late")); err == nil {
+		t.Fatal("broadcast after stop accepted")
+	}
+}
+
+// TestSlowSubscriberStillGetsEverything: a subscriber that lags (reads
+// with a delay after many blocks are queued) receives the full ordered
+// stream and a clean close — lag queues blocks, it never drops them.
+func TestSlowSubscriberStillGetsEverything(t *testing.T) {
+	genesis := ledger.NewChain("ch1").Last()
+	s := NewService(Config{MaxMessageCount: 1, BatchTimeout: time.Hour}, genesis)
+	slow := s.Subscribe()
+	const blocks = 150
+	for i := 0; i < blocks; i++ {
+		if err := s.Broadcast(smallTx("t" + itoa(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	go s.Stop()
+	var got int
+	for b := range slow {
+		if b.Header.Number != uint64(got+1) {
+			t.Fatalf("block %d delivered as number %d", got, b.Header.Number)
+		}
+		got++
+		if got%50 == 0 {
+			time.Sleep(10 * time.Millisecond) // fall behind on purpose
+		}
+	}
+	if got != blocks {
+		t.Fatalf("slow subscriber received %d blocks, want %d", got, blocks)
+	}
+}
+
+// TestSubscribeAfterStopReturnsClosedChannel: a late subscriber must see
+// an immediately closed stream, not a channel that never closes (and no
+// forwarder goroutine parked forever behind it).
+func TestSubscribeAfterStopReturnsClosedChannel(t *testing.T) {
+	genesis := ledger.NewChain("ch1").Last()
+	s := NewService(Config{MaxMessageCount: 1, BatchTimeout: time.Hour}, genesis)
+	s.Stop()
+	select {
+	case _, ok := <-s.Subscribe():
+		if ok {
+			t.Fatal("subscribe after stop delivered a block")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscribe after stop returned a channel that never closes")
+	}
+}
+
 func TestDefaultConfig(t *testing.T) {
 	cfg := DefaultConfig(25)
 	if cfg.MaxMessageCount != 25 || cfg.BatchTimeout != 2*time.Second {

@@ -1,0 +1,105 @@
+package peer
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"fabriccrdt/internal/ledger"
+)
+
+// CommitPipeline drives one channel's deliver stream through the peer's
+// two-stage commit pipeline until the stream closes, and returns the first
+// commit error (nil on a clean run). It is the committer loop fabricnet
+// runs per (peer, channel) pair; tests and embedders can feed it any
+// ordered block channel.
+//
+// With depth <= 0 the pipeline is synchronous: each block is prepared and
+// finalized back to back (exactly CommitBlockOn). With depth >= 1 the two
+// stages run in separate goroutines connected by a bounded queue of
+// `depth` prepared blocks: while block N is in the serialized finalize
+// stage (dedup/merge/mvcc/apply/append), blocks N+1..N+depth are decoded
+// and endorsement-validated ahead of it. The prepare stage reads no world
+// state and finalize consumes prepared blocks strictly in delivery order,
+// so commit outcomes — validation codes, world state, hash chain — are
+// byte-identical at every depth (proven by TestCommitPipelineDepthDeterminism
+// under -race). Each successfully overlapped block records a StageOverlap
+// observation: the share of its prepare time hidden behind earlier
+// finalize work.
+//
+// Error handling: the first failure (prepare or finalize) poisons the
+// pipeline — every subsequent block is received and DISCARDED until the
+// deliver channel closes. Draining is load-bearing, not cosmetic: an
+// abandoned subscription must never apply permanent backpressure to the
+// block source (the regression behind DESIGN.md §7's deadlock
+// post-mortem). Blocks after a failure are undeliverable anyway: the hash
+// chain rejects a block whose predecessor never committed.
+func (p *Peer) CommitPipeline(channelID string, deliver <-chan *ledger.Block, depth int) error {
+	if depth <= 0 {
+		var firstErr error
+		for block := range deliver {
+			if firstErr != nil {
+				continue // drain: see above
+			}
+			if _, err := p.CommitBlockOn(channelID, block); err != nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+
+	prepared := make(chan *PreparedBlock, depth)
+	var failed atomic.Bool
+	var finalizeErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// dead is the finalizer's OWN failure, distinct from the shared
+		// flag: a prepare-stage failure on block N must not make the
+		// finalizer discard blocks 1..N-1 already sitting in the queue —
+		// they are valid predecessors the synchronous path would commit,
+		// and dropping them would break depth-determinism (the committed
+		// height, and with a durable backend the restart-resume point,
+		// would depend on the depth and on scheduling).
+		var dead bool
+		for {
+			idle := time.Now()
+			prep, ok := <-prepared
+			if !ok {
+				return
+			}
+			stalled := time.Since(idle)
+			if dead {
+				continue
+			}
+			// The part of this block's prepare the finalizer did NOT
+			// have to wait for ran hidden behind earlier blocks' commit
+			// work — the pipelining payoff, visible in CommitTimings.
+			if hidden := prep.prepDur - stalled; hidden > 0 {
+				p.timings.Observe(StageOverlap, hidden)
+			}
+			if _, err := p.FinalizeBlockOn(prep); err != nil {
+				finalizeErr = err
+				dead = true
+				failed.Store(true)
+			}
+		}
+	}()
+
+	var prepareErr error
+	for block := range deliver {
+		if failed.Load() {
+			continue // drain
+		}
+		prep, err := p.PrepareBlockOn(channelID, block)
+		if err != nil {
+			prepareErr = err
+			failed.Store(true)
+			continue
+		}
+		prepared <- prep
+	}
+	close(prepared)
+	<-done
+	return errors.Join(prepareErr, finalizeErr)
+}

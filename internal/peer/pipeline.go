@@ -3,6 +3,7 @@ package peer
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"fabriccrdt/internal/channel"
 	"fabriccrdt/internal/core"
@@ -34,7 +35,12 @@ const (
 // peer joins, and each channel gets its own backend instance.
 type CommitterConfig = channel.CommitterConfig
 
-// Commit pipeline stage names, as reported by CommitTimings.
+// Commit pipeline stage names, as reported by CommitTimings. Decode and
+// endorse form the stateless prepare stage (PrepareBlockOn); the rest run
+// serialized per channel in the finalize stage (FinalizeBlockOn). The
+// overlap pseudo-stage is recorded only by the async delivery pipeline
+// (CommitPipeline): it measures how much of a block's prepare work ran
+// hidden behind the previous block's finalize.
 const (
 	StageDecode  = "decode"  // serialize + re-parse the delivered block
 	StageDedup   = "dedup"   // duplicate transaction-ID screening
@@ -43,6 +49,7 @@ const (
 	StageMVCC    = "mvcc"    // stock MVCC validation (serial)
 	StageApply   = "apply"   // batched world-state apply
 	StageAppend  = "append"  // ledger append + commit events
+	StageOverlap = "overlap" // prepare time hidden behind the previous finalize
 )
 
 // CommitTimings returns per-stage latency aggregates over every block this
@@ -65,26 +72,117 @@ func (p *Peer) CommitBlock(block *ledger.Block) (CommitResult, error) {
 // and ledger append (paper §2.1 step 3, §5.1). Per-stage latencies are
 // recorded for CommitTimings.
 //
+// The pipeline is split in two (DESIGN.md §7): PrepareBlockOn is the
+// stateless half (decode + endorsement validation — it reads no world
+// state, so an async deliver loop may prepare block N+1 while block N is
+// still committing), and FinalizeBlockOn is the serialized half (dedup,
+// merge, MVCC, apply, append) under the channel's commit mutex.
+// CommitBlockOn composes the two back to back — the synchronous path, and
+// the definition of correctness the async pipeline must match
+// byte-for-byte at every depth.
+//
 // Commits are serialized per channel (the channel runtime's commit mutex);
 // distinct channels commit fully in parallel — they share no state, no
 // lock and no block numbering.
+func (p *Peer) CommitBlockOn(channelID string, block *ledger.Block) (CommitResult, error) {
+	prep, err := p.PrepareBlockOn(channelID, block)
+	if err != nil {
+		return CommitResult{}, err
+	}
+	return p.FinalizeBlockOn(prep)
+}
+
+// PreparedBlock is the output of the stateless prepare stage: the decoded
+// block copies plus the per-transaction endorsement verdicts, ready for
+// FinalizeBlockOn. A prepared block is bound to the (peer, channel)
+// runtime it was prepared on.
+type PreparedBlock struct {
+	rt           *channel.Runtime
+	stored, view *ledger.Block
+	// endorseCodes holds the signature/policy verdict of every
+	// transaction that passed the stateless pre-screen (CodeNotValidated
+	// = passed; statelessly screened transactions keep their screen
+	// code, which finalize recomputes and never reads from here).
+	// Finalize adopts these verdicts only for transactions its
+	// authoritative dedup stage leaves undecided, preserving the
+	// synchronous pipeline's code precedence.
+	endorseCodes []ledger.ValidationCode
+	// prepDur is the prepare stage's wall time, used by CommitPipeline's
+	// overlap accounting.
+	prepDur time.Duration
+}
+
+// PrepareBlockOn runs the stateless half of the commit pipeline on a block
+// delivered for one channel: decode (serialize + re-parse) and
+// endorsement-policy validation of every transaction. Neither touches the
+// channel's world state, chain, or duplicate-screening set, so prepare
+// needs no commit mutex and may run for block N+1 while block N is still
+// inside FinalizeBlockOn — the cross-block overlap the async delivery
+// pipeline exploits (DESIGN.md §7).
 //
-// The block is serialized and re-parsed first: the committer works on the
+// The block is serialized and re-parsed here: the committer works on the
 // peer's own copy (a real peer receives bytes from the deliver service),
 // and the pristine copy is what the hash-chained ledger stores — the merge
 // engine's write-set rewriting never invalidates the orderer's data hash.
-func (p *Peer) CommitBlockOn(channelID string, block *ledger.Block) (CommitResult, error) {
+func (p *Peer) PrepareBlockOn(channelID string, block *ledger.Block) (*PreparedBlock, error) {
+	start := time.Now()
 	rt, err := p.runtime(channelID)
 	if err != nil {
-		return CommitResult{}, err
+		return nil, err
 	}
 	var stored, view *ledger.Block
 	p.timings.Time(StageDecode, func() {
 		stored, view, err = decodeBlock(block)
 	})
 	if err != nil {
-		return CommitResult{}, err
+		return nil, err
 	}
+	endorseCodes := make([]ledger.ValidationCode, len(view.Transactions))
+	// A block already at or below the channel's committed height will be
+	// fast-forwarded by finalize — don't re-validate its endorsements
+	// here (re-delivered history must cost no validation work). The
+	// unlocked height read is safe because height only grows: a block
+	// this check sees as committed is still committed when finalize
+	// re-checks under the commit mutex; the reverse race merely prepares
+	// a block that finalize then fast-forwards, wasting nothing but work.
+	if num := view.Header.Number; num == 0 || num > rt.Height() {
+		p.timings.Time(StageEndorse, func() {
+			// The stateless pre-screen: transactions endorsed for a
+			// different channel or duplicated within this block never
+			// reach signature verification in the synchronous pipeline
+			// either. Both checks are pure functions of the block, so
+			// finalize's authoritative dedup stage recomputes the same
+			// screens (and never reads endorseCodes for screened
+			// transactions); only cross-history duplicates — invisible
+			// without the dedup set — still cost a wasted verification.
+			markWrongChannel(rt.ID(), view, endorseCodes)
+			markInBlockDuplicates(view, endorseCodes)
+			p.validateEndorsementsStage(view, endorseCodes)
+		})
+	}
+	return &PreparedBlock{
+		rt:           rt,
+		stored:       stored,
+		view:         view,
+		endorseCodes: endorseCodes,
+		prepDur:      time.Since(start),
+	}, nil
+}
+
+// FinalizeBlockOn runs the serialized half of the commit pipeline on a
+// prepared block, under the channel's commit mutex: fast-forward check,
+// duplicate screening (which must see every earlier block's committed IDs,
+// so it cannot run ahead), the CRDT merge, MVCC validation, the atomic
+// state apply and the ledger append. Prepared blocks of one channel must
+// be finalized in delivery order — the hash chain rejects anything else.
+//
+// Dedup precedence matches the synchronous pipeline exactly: a
+// wrong-channel or duplicate transaction keeps that code even if the
+// prepare stage found its endorsements invalid, because the synchronous
+// pipeline never endorse-validated screened transactions at all.
+func (p *Peer) FinalizeBlockOn(prep *PreparedBlock) (CommitResult, error) {
+	rt, stored, view := prep.rt, prep.stored, prep.view
+	var err error
 
 	rt.Lock()
 	defer rt.Unlock()
@@ -97,13 +195,27 @@ func (p *Peer) CommitBlockOn(channelID string, block *ledger.Block) (CommitResul
 		return p.fastForward(rt, stored)
 	}
 
+	// Pre-flight the chain link before anything touches the state: the
+	// append stage re-verifies at the end of the commit, but by then the
+	// block's writes and its chain checkpoint would already be (durably)
+	// applied — a chain-invalid block rejected only at append would
+	// leave a restarted peer resuming from a checkpoint the true chain
+	// never produced.
+	if err := rt.Chain().CheckNext(stored); err != nil {
+		return CommitResult{}, fmt.Errorf("peer %s: committing block %d on %s: %w", p.cfg.Name, view.Header.Number, rt.ID(), err)
+	}
+
 	codes := make([]ledger.ValidationCode, len(view.Transactions))
 	p.timings.Time(StageDedup, func() {
 		markWrongChannel(rt.ID(), view, codes)
 		p.markDuplicates(rt, view, codes)
-	})
-	p.timings.Time(StageEndorse, func() {
-		p.validateEndorsementsStage(view, codes)
+		// Adopt the prepared endorsement verdicts for every transaction
+		// the screening left undecided.
+		for i := range codes {
+			if codes[i] == ledger.CodeNotValidated {
+				codes[i] = prep.endorseCodes[i]
+			}
+		}
 	})
 
 	// FabricCRDT merge path (Algorithm 1) for CRDT transactions.
@@ -270,6 +382,14 @@ func (p *Peer) markDuplicates(rt *channel.Runtime, view *ledger.Block, codes []l
 			codes[i] = ledger.CodeDuplicate
 		}
 	}
+	markInBlockDuplicates(view, codes)
+}
+
+// markInBlockDuplicates fails repeats of a transaction ID within the same
+// block (first occurrence wins). Unlike the cross-history half of the
+// screening it is a pure function of the block, so the prepare stage also
+// runs it to skip endorsement validation of in-block repeats.
+func markInBlockDuplicates(view *ledger.Block, codes []ledger.ValidationCode) {
 	seenInBlock := make(map[string]int, len(view.Transactions))
 	for i, tx := range view.Transactions {
 		if codes[i] != ledger.CodeNotValidated {
