@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke
+.PHONY: ci fmt vet build test race bench bench-smoke demo-persist
 
 ci: fmt vet build race
 
@@ -31,9 +31,16 @@ bench:
 	$(GO) test -run xxx -bench $(BENCHES) -benchtime=20x .
 
 # One quick pass of the commit benchmark per state backend (memory,
-# sharded, disk), the worker sweep, the channel-scaling sweep
-# (1/2/4/8 channels) and the async-pipeline depth sweep (0/1/2/4) —
-# enough for CI to refresh and archive BENCH_commit.json without a long
-# benchmark run.
+# sharded, disk with and without the block store), the worker sweep, the
+# channel-scaling sweep (1/2/4/8 channels) and the async-pipeline depth
+# sweep (0/1/2/4) — enough for CI to refresh and archive BENCH_commit.json
+# without a long benchmark run.
 bench-smoke:
 	$(GO) test -run xxx -bench $(BENCHES) -benchtime=3x .
+
+# One short live-network run with durable peers and the block store on,
+# against a throwaway datadir — proves the -backend disk -persist-blocks
+# path end to end (CI runs this).
+demo-persist:
+	$(GO) run ./cmd/fabricnet -txs 60 -rate 600 -block 10 -clients 2 \
+		-backend disk -datadir $$(mktemp -d) -persist-blocks

@@ -13,13 +13,18 @@
 //	fabricnet -backend disk -datadir ./net-state    # persistent peers
 //	fabricnet -pipeline 4 -backend disk -datadir ./net-state -fsync
 //	                             # durable peers, commits pipelined 4 deep
+//	fabricnet -backend disk -datadir ./net-state -persist-blocks=false
+//	                             # state checkpoint only, no block bodies
 //
 // Channels are the sharding unit: the workload generator assigns each
 // transaction a channel round-robin (workload.IoTParams.Channels), clients
 // submit through multi-channel clients, every channel orders and commits
 // independently, and the run reports per-channel block heights. With
 // -backend disk, rerunning with the same -datadir restores every peer's
-// world state and resumes each channel from its own recorded block height.
+// world state and resumes each channel from its own recorded block height;
+// block bodies persist too by default (-persist-blocks), so restarted
+// peers keep serving their full history and can rebuild their world state
+// from block 0 (docs/PERSISTENCE.md).
 package main
 
 import (
@@ -52,16 +57,24 @@ func main() {
 		shards      = flag.Int("shards", 1, "state database shards per peer (1 = single-lock map)")
 		backend     = flag.String("backend", "", "state backend per peer: memory|sharded|disk (default: memory, or sharded when -shards > 1)")
 		datadir     = flag.String("datadir", "", "data directory for -backend disk (one subdirectory per peer, then per channel)")
-		fsync       = flag.Bool("fsync", false, "fsync each peer's state log after every committed block (-backend disk only): closes the power-loss window; the async pipeline hides the added latency")
+		fsync       = flag.Bool("fsync", false, "fsync each peer's state log (and block log) after every committed block (-backend disk only): closes the power-loss window; the async pipeline hides the added latency")
+		persist     = flag.Bool("persist-blocks", true, "persist committed block bodies in each peer's durable block store (-backend disk only): restarted peers then serve their full history to lagging peers and can rebuild their world state from block 0")
 		timings     = flag.Bool("timings", false, "print per-stage commit latencies per peer")
 	)
 	flag.Parse()
+	persistSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "persist-blocks" {
+			persistSet = true
+		}
+	})
 
 	channels, err := parseChannels(*channelList)
 	if err != nil {
 		fatal(err)
 	}
 
+	persistBlocks := fabriccrdt.PersistBlocksAuto
 	switch *backend {
 	case "", fabriccrdt.BackendMemory, fabriccrdt.BackendSharded:
 		if *datadir != "" {
@@ -70,9 +83,23 @@ func main() {
 		if *fsync {
 			fatal(fmt.Errorf("-fsync is only used with -backend disk; there is no log to sync"))
 		}
+		if persistSet {
+			fatal(fmt.Errorf("-persist-blocks is only used with -backend disk; there is no durable store to hold block bodies"))
+		}
 	case fabriccrdt.BackendDisk:
 		if *datadir == "" {
 			fatal(fmt.Errorf("-backend disk requires -datadir"))
+		}
+		// Defaulted flag = Auto: block persistence on, but a datadir from
+		// before the block store is adopted checkpoint-only instead of
+		// refused. Spelling the flag out insists on the chosen mode.
+		switch {
+		case !persistSet:
+			persistBlocks = fabriccrdt.PersistBlocksAuto
+		case *persist:
+			persistBlocks = fabriccrdt.PersistBlocksOn
+		default:
+			persistBlocks = fabriccrdt.PersistBlocksOff
 		}
 	default:
 		fatal(fmt.Errorf("unknown -backend %q (want memory, sharded or disk)", *backend))
@@ -99,6 +126,7 @@ func main() {
 		StateShards:    *shards,
 		Backend:        *backend,
 		DataDir:        *datadir,
+		PersistBlocks:  persistBlocks,
 		SyncEveryApply: *fsync,
 	}
 	net, err := fabriccrdt.NewNetwork(cfg)

@@ -147,6 +147,9 @@ type commitBenchEntry struct {
 	Backend string `json:"backend"`
 	// Shards is the sharded backend's shard count (0 for other backends).
 	Shards int `json:"shards,omitempty"`
+	// PersistBlocks marks disk-backend runs with the durable block store
+	// on (one block-body append per commit beside the state log).
+	PersistBlocks bool `json:"persist_blocks,omitempty"`
 	// Channels is how many channels committed concurrently (1 for the
 	// single-channel pipeline benchmarks). With N > 1, BlockTxs counts one
 	// block per channel, NsPerBlock is the wall time for the whole round
@@ -171,7 +174,7 @@ var (
 
 // benchKey is one configuration's identity in BENCH_commit.json.
 func benchKey(e commitBenchEntry) string {
-	return fmt.Sprintf("%v/%s/%d/%d/%d/%d/%d", e.CRDT, e.Backend, e.Shards, e.Channels, e.Pipeline, e.BlockTxs, e.Workers)
+	return fmt.Sprintf("%v/%s/%d/%v/%d/%d/%d/%d", e.CRDT, e.Backend, e.Shards, e.PersistBlocks, e.Channels, e.Pipeline, e.BlockTxs, e.Workers)
 }
 
 // loadCommitBench seeds the in-memory result map from the committed
@@ -224,6 +227,9 @@ func recordCommitBench(b *testing.B, e commitBenchEntry) {
 		}
 		if a.Shards != c.Shards {
 			return a.Shards < c.Shards
+		}
+		if a.PersistBlocks != c.PersistBlocks {
+			return !a.PersistBlocks
 		}
 		if a.Channels != c.Channels {
 			return a.Channels < c.Channels
@@ -300,31 +306,40 @@ func BenchmarkCommitPipeline(b *testing.B) {
 }
 
 // BenchmarkCommitBackends measures the same staged pipeline with each
-// state backend behind it — the cost of durability (disk) and the payoff
-// of shard-level locking vs the single-lock map. CRDT on, 100-transaction
-// blocks, 4 workers; one fresh peer (and, for disk, a fresh data
-// directory) per iteration so the log starts empty every time.
+// state backend behind it — the cost of durability (disk), the payoff of
+// shard-level locking vs the single-lock map, and the block store's
+// append overhead (persistblocks: disk with block-body persistence, the
+// disk backend's default configuration). CRDT on, 100-transaction blocks,
+// 4 workers; one fresh peer (and, for disk, a fresh data directory) per
+// iteration so the logs start empty every time.
 func BenchmarkCommitBackends(b *testing.B) {
 	const blockTxs, workers = 100, 4
 	fix := newCommitFixture(b, true)
 	block := fix.endorsedBlock(b, blockTxs)
 	backends := []struct {
-		name   string
-		shards int
-		cfg    func(b *testing.B) peer.CommitterConfig
+		label         string
+		backend       string
+		shards        int
+		persistBlocks bool
+		cfg           func(b *testing.B) peer.CommitterConfig
 	}{
-		{peer.BackendMemory, 0, func(b *testing.B) peer.CommitterConfig {
+		{peer.BackendMemory, peer.BackendMemory, 0, false, func(b *testing.B) peer.CommitterConfig {
 			return peer.CommitterConfig{Workers: workers, Backend: peer.BackendMemory}
 		}},
-		{peer.BackendSharded, 8, func(b *testing.B) peer.CommitterConfig {
+		{peer.BackendSharded, peer.BackendSharded, 8, false, func(b *testing.B) peer.CommitterConfig {
 			return peer.CommitterConfig{Workers: workers, Backend: peer.BackendSharded, StateShards: 8}
 		}},
-		{peer.BackendDisk, 0, func(b *testing.B) peer.CommitterConfig {
-			return peer.CommitterConfig{Workers: workers, Backend: peer.BackendDisk, DataDir: b.TempDir()}
+		{peer.BackendDisk, peer.BackendDisk, 0, false, func(b *testing.B) peer.CommitterConfig {
+			return peer.CommitterConfig{Workers: workers, Backend: peer.BackendDisk, DataDir: b.TempDir(),
+				PersistBlocks: peer.PersistBlocksOff}
+		}},
+		{"persistblocks", peer.BackendDisk, 0, true, func(b *testing.B) peer.CommitterConfig {
+			return peer.CommitterConfig{Workers: workers, Backend: peer.BackendDisk, DataDir: b.TempDir(),
+				PersistBlocks: peer.PersistBlocksOn}
 		}},
 	}
 	for _, backend := range backends {
-		b.Run(fmt.Sprintf("backend=%s", backend.name), func(b *testing.B) {
+		b.Run(fmt.Sprintf("backend=%s", backend.label), func(b *testing.B) {
 			var total time.Duration
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -350,7 +365,8 @@ func BenchmarkCommitBackends(b *testing.B) {
 			txPerSec := float64(blockTxs) / (float64(nsPerBlock) / 1e9)
 			b.ReportMetric(txPerSec, "tx/s")
 			recordCommitBench(b, commitBenchEntry{
-				CRDT: true, Backend: backend.name, Shards: backend.shards, BlockTxs: blockTxs, Workers: workers,
+				CRDT: true, Backend: backend.backend, Shards: backend.shards,
+				PersistBlocks: backend.persistBlocks, BlockTxs: blockTxs, Workers: workers,
 				NsPerBlock: nsPerBlock, TxPerSec: txPerSec,
 			})
 		})
@@ -403,7 +419,9 @@ func (f *commitFixture) endorsedStream(b *testing.B, nBlocks, txsPerBlock int) [
 // BenchmarkCommitAsync measures the async cross-block commit pipeline: a
 // 24-block deliver stream (10 CRDT transactions per block) driven through
 // Peer.CommitPipeline at depths 0/1/2/4 over the DURABLE peer
-// configuration (disk backend, fsync per committed block). Depth 0 is the
+// configuration (disk backend with its default block store, fsync per
+// committed block — each commit appends the block body, then the state
+// batch, and syncs both). Depth 0 is the
 // synchronous baseline; depth >= 1 decodes and endorsement-validates
 // block N+1 while block N is in merge/mvcc/apply/append. Workers is
 // pinned to 1 so intra-block parallelism contributes nothing — the
@@ -465,7 +483,7 @@ func BenchmarkCommitAsync(b *testing.B) {
 		txPerSec := float64(nBlocks*blockTxs) / (float64(median.Nanoseconds()) / 1e9)
 		b.ReportMetric(txPerSec, fmt.Sprintf("tx/s@depth%d", depth))
 		recordCommitBench(b, commitBenchEntry{
-			CRDT: true, Backend: peer.BackendDisk, Pipeline: depth,
+			CRDT: true, Backend: peer.BackendDisk, PersistBlocks: true, Pipeline: depth,
 			BlockTxs: blockTxs, Workers: 1,
 			NsPerBlock: nsPerBlock, TxPerSec: txPerSec,
 		})

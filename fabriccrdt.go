@@ -52,11 +52,13 @@ type (
 	// endorsement-validation worker pool, the async cross-block pipeline
 	// depth (Pipeline: how many delivered blocks are decoded and
 	// endorsement-validated ahead of the serialized commit stage; 0 =
-	// synchronous), and the world-state backend (Backend/StateShards/
-	// DataDir/SyncEveryApply — see the Backend* constants). One
-	// configuration applies per channel: a zero Workers is resolved
-	// adaptively (the host's CPUs divided across the network's channels);
-	// any Workers or Pipeline setting produces identical commit results.
+	// synchronous), the world-state backend (Backend/StateShards/
+	// DataDir/SyncEveryApply — see the Backend* constants) and the durable
+	// block store (PersistBlocks — see the PersistBlocks* constants; on by
+	// default with BackendDisk). One configuration applies per channel: a
+	// zero Workers is resolved adaptively (the host's CPUs divided across
+	// the network's channels); any Workers or Pipeline setting produces
+	// identical commit results.
 	CommitterConfig = peer.CommitterConfig
 	// CommitStageSummary aggregates one commit-pipeline stage's latencies,
 	// as returned by Peer.CommitTimings.
@@ -75,6 +77,25 @@ const (
 	// directory resume from the recorded block height instead of
 	// replaying the chain.
 	BackendDisk = peer.BackendDisk
+)
+
+// Block-body persistence modes for CommitterConfig.PersistBlocks (disk
+// backend only; see docs/PERSISTENCE.md). With the block store on — the
+// disk backend's default — the ledger is the recovery root: a restarted
+// peer serves its full history to syncing peers and Peer.RebuildState
+// replays the persisted chain into a byte-identical world state.
+const (
+	// PersistBlocksAuto (the zero value) enables the block store whenever
+	// the backend is BackendDisk; a data directory from before block
+	// persistence is adopted as-is (checkpoint-only resume) instead of
+	// refused.
+	PersistBlocksAuto = peer.PersistBlocksAuto
+	// PersistBlocksOn requires the block store (BackendDisk only).
+	PersistBlocksOn = peer.PersistBlocksOn
+	// PersistBlocksOff keeps the state-checkpoint-only durability: a
+	// restarted peer resumes committing but cannot serve pre-restart
+	// blocks or rebuild its state from the chain.
+	PersistBlocksOff = peer.PersistBlocksOff
 )
 
 // NewNetwork builds a network: per-org CAs, peers, and one ordering

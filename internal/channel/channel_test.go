@@ -96,9 +96,13 @@ func TestRegistryLifecycle(t *testing.T) {
 
 func TestNewRuntimeRejectsBadBackendConfig(t *testing.T) {
 	for name, committer := range map[string]CommitterConfig{
-		"unknown-backend":  {Backend: "couchdb"},
-		"disk-no-datadir":  {Backend: BackendDisk},
-		"misspelled-entry": {Backend: "Memory"},
+		"unknown-backend":       {Backend: "couchdb"},
+		"disk-no-datadir":       {Backend: BackendDisk},
+		"misspelled-entry":      {Backend: "Memory"},
+		"blocks-on-memory":      {Backend: BackendMemory, PersistBlocks: PersistBlocksOn},
+		"blocks-on-no-backend":  {PersistBlocks: PersistBlocksOn},
+		"blocks-unknown-mode":   {Backend: BackendDisk, DataDir: t.TempDir(), PersistBlocks: "bogus"},
+		"blocks-misspelled-off": {Backend: BackendDisk, DataDir: t.TempDir(), PersistBlocks: "Off"},
 	} {
 		if _, err := NewRuntime("ch1", committer, core.Options{}); err == nil {
 			t.Errorf("%s: NewRuntime accepted %+v", name, committer)
@@ -110,6 +114,9 @@ func TestNewRuntimeRejectsBadBackendConfig(t *testing.T) {
 		{Backend: BackendSharded, StateShards: 4},
 		{StateShards: 8},
 		{Backend: BackendDisk, DataDir: t.TempDir()},
+		{Backend: BackendDisk, DataDir: t.TempDir(), PersistBlocks: PersistBlocksOn},
+		{Backend: BackendDisk, DataDir: t.TempDir(), PersistBlocks: PersistBlocksOff},
+		{Backend: BackendMemory, PersistBlocks: PersistBlocksOff},
 	} {
 		rt, err := NewRuntime("ch1", committer, core.Options{})
 		if err != nil {
@@ -121,8 +128,10 @@ func TestNewRuntimeRejectsBadBackendConfig(t *testing.T) {
 }
 
 // TestDiskRuntimePerChannelLayout pins the on-disk contract: each channel
-// persists under its own DataDir/<channel-ID> subdirectory, so channels on
-// one peer never share a log.
+// persists under its own DataDir/<channel-ID> subdirectory — the state
+// store directly inside, the block store (on by default with the disk
+// backend) under its blocks/ subdirectory — so channels on one peer never
+// share a log.
 func TestDiskRuntimePerChannelLayout(t *testing.T) {
 	dir := t.TempDir()
 	committer := CommitterConfig{Backend: BackendDisk, DataDir: dir}
@@ -131,12 +140,33 @@ func TestDiskRuntimePerChannelLayout(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		if rt.Blocks() == nil {
+			t.Fatalf("channel %s: block persistence is not on by default with the disk backend", id)
+		}
 		if err := rt.Close(); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := os.Stat(filepath.Join(dir, id)); err != nil {
 			t.Fatalf("channel %s has no %s subdirectory: %v", id, filepath.Join(dir, id), err)
 		}
+		if _, err := os.Stat(filepath.Join(dir, id, "blocks", "blocks.log")); err != nil {
+			t.Fatalf("channel %s has no block log: %v", id, err)
+		}
+	}
+	// PersistBlocksOff keeps the block store out of the layout.
+	committer.PersistBlocks = PersistBlocksOff
+	rt, err := NewRuntime("ch3", committer, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Blocks() != nil {
+		t.Fatal("PersistBlocksOff still opened a block store")
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ch3", "blocks")); !os.IsNotExist(err) {
+		t.Fatalf("PersistBlocksOff still created a blocks/ directory: %v", err)
 	}
 }
 

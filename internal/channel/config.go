@@ -23,6 +23,25 @@ const (
 	BackendDisk = "disk"
 )
 
+// Block-body persistence modes for CommitterConfig.PersistBlocks.
+const (
+	// PersistBlocksAuto (the zero value) persists block bodies whenever
+	// the backend is BackendDisk — the ledger is the recovery root — and
+	// skips them on in-memory backends, which have nowhere durable to put
+	// them. A disk store that already holds committed state but no block
+	// log (created before block persistence, or with it off) is adopted
+	// as-is: it keeps resuming checkpoint-only rather than being refused.
+	PersistBlocksAuto = ""
+	// PersistBlocksOn requires the durable block store; it is only valid
+	// with BackendDisk, and a store whose committed bodies are missing is
+	// refused rather than adopted.
+	PersistBlocksOn = "on"
+	// PersistBlocksOff keeps the state-checkpoint-only durability of the
+	// disk backend: a restarted peer resumes committing but cannot serve
+	// pre-restart blocks or rebuild its world state from the chain.
+	PersistBlocksOff = "off"
+)
+
 // CommitterConfig tunes the staged commit pipeline and the world-state
 // backend behind it (DESIGN.md §4, §5). One configuration applies to every
 // channel a peer joins; each channel gets its own backend instance (and,
@@ -59,13 +78,44 @@ type CommitterConfig struct {
 	// fabricnet derives per-peer subdirectories automatically. Each channel
 	// persists under DataDir/<channel-ID>.
 	DataDir string
-	// SyncEveryApply makes the disk backend fsync its log after every
-	// committed block, closing the power-loss durability window at the
-	// cost of one fsync per block (DESIGN.md §4). Disk backend only.
-	// This is the configuration where the async commit pipeline pays off
-	// even on a single core: block N's fsync wait is hidden behind block
-	// N+1's decode + endorsement validation (DESIGN.md §7).
+	// PersistBlocks controls the durable block store
+	// (internal/blockstore): committed block bodies, validation codes
+	// included, appended under DataDir/<channel-ID>/blocks in the finalize
+	// stage just before the state apply — making the ledger, not the state
+	// snapshot, the recovery root. A restarted peer can then serve its
+	// full history to lagging peers (Peer.SyncFrom) and rebuild its world
+	// state from block 0 (Peer.RebuildState). Values: PersistBlocksAuto
+	// (the default: on with BackendDisk, off otherwise), PersistBlocksOn
+	// (BackendDisk required) and PersistBlocksOff (state checkpoint only —
+	// the pre-block-store behaviour). See DESIGN.md §8 and
+	// docs/PERSISTENCE.md.
+	PersistBlocks string
+	// SyncEveryApply makes the disk backend fsync its state log — and the
+	// block store, when PersistBlocks is on — after every committed block,
+	// closing the power-loss durability window at the cost of fsyncs per
+	// block (DESIGN.md §4). Disk backend only. This is the configuration
+	// where the async commit pipeline pays off even on a single core:
+	// block N's fsync wait is hidden behind block N+1's decode +
+	// endorsement validation (DESIGN.md §7).
 	SyncEveryApply bool
+}
+
+// blockPersistence resolves the PersistBlocks knob against the selected
+// backend.
+func (c CommitterConfig) blockPersistence() (bool, error) {
+	switch c.PersistBlocks {
+	case PersistBlocksAuto:
+		return c.Backend == BackendDisk, nil
+	case PersistBlocksOn:
+		if c.Backend != BackendDisk {
+			return false, fmt.Errorf("PersistBlocks %q requires the %s backend (got %q): block bodies persist beside the state store", PersistBlocksOn, BackendDisk, c.Backend)
+		}
+		return true, nil
+	case PersistBlocksOff:
+		return false, nil
+	default:
+		return false, fmt.Errorf("unknown PersistBlocks %q (want %q, %q or %q)", c.PersistBlocks, PersistBlocksAuto, PersistBlocksOn, PersistBlocksOff)
+	}
 }
 
 // AdaptiveWorkers is the commit-pipeline worker count used when
@@ -105,7 +155,9 @@ func rejectLegacyStore(dataDir string) error {
 // newStateDB builds one channel's world state as named by the committer
 // configuration. The disk backend stores each channel under its own
 // DataDir/<channel-ID> subdirectory so channels never share a log.
-func newStateDB(channelID string, c CommitterConfig) (*statedb.DB, error) {
+// beforeCompact (may be nil) is handed to the disk backend so it can
+// fsync the channel's block store before making a state snapshot durable.
+func newStateDB(channelID string, c CommitterConfig, beforeCompact func() error) (*statedb.DB, error) {
 	switch c.Backend {
 	case "":
 		if c.StateShards > 1 {
@@ -124,7 +176,7 @@ func newStateDB(channelID string, c CommitterConfig) (*statedb.DB, error) {
 			return nil, err
 		}
 		return statedb.NewDiskWithOptions(filepath.Join(c.DataDir, channelID),
-			statedb.DiskOptions{SyncEveryApply: c.SyncEveryApply})
+			statedb.DiskOptions{SyncEveryApply: c.SyncEveryApply, BeforeCompact: beforeCompact})
 	default:
 		return nil, fmt.Errorf("unknown state backend %q (want %s, %s or %s)",
 			c.Backend, BackendMemory, BackendSharded, BackendDisk)

@@ -13,19 +13,27 @@
 //     ordered channel ID set and one ordering service per channel
 //     (registry.go).
 //
-// Disk-backed runtimes persist under DataDir/<channel-ID>, so one DataDir
-// knob captures a whole peer and every channel resumes independently at
-// its own height after a restart (DESIGN.md §6).
+// Disk-backed runtimes persist under DataDir/<channel-ID> — the state
+// store directly in it, the block store (CommitterConfig.PersistBlocks,
+// on by default with the disk backend) under its blocks/ subdirectory —
+// so one DataDir knob captures a whole peer and every channel resumes
+// independently at its own height after a restart (DESIGN.md §6, §8;
+// docs/PERSISTENCE.md has the full layout and recovery matrix).
 package channel
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 
+	"fabriccrdt/internal/blockstore"
 	"fabriccrdt/internal/core"
 	"fabriccrdt/internal/ledger"
 	"fabriccrdt/internal/mvcc"
+	"fabriccrdt/internal/rwset"
 	"fabriccrdt/internal/statedb"
 )
 
@@ -66,9 +74,13 @@ type chainCheckpoint struct {
 // (WasCommitted, MarkCommitted, ResetCommitted) must be called with the
 // commit mutex held.
 type Runtime struct {
-	id        string
-	db        *statedb.DB
-	chain     *ledger.Chain
+	id    string
+	db    *statedb.DB
+	chain *ledger.Chain
+	// blocks is the durable block store (nil when block persistence is
+	// off): every committed block's body, appended in finalize just before
+	// the state apply.
+	blocks    *blockstore.Store
 	validator *mvcc.Validator
 	engine    *core.Engine
 
@@ -76,20 +88,110 @@ type Runtime struct {
 	committedIDs map[string]struct{}
 }
 
-// NewRuntime opens one channel's world state and chain. It fails when the
-// configured state backend is unknown or cannot be opened (the disk
-// backend needs a usable DataDir; the channel's store lives under
-// DataDir/<id>).
+// NewRuntime opens one channel's world state, block store and chain. It
+// fails when the configured state backend or block persistence setting is
+// invalid, or a store cannot be opened (the disk backend needs a usable
+// DataDir; the channel's stores live under DataDir/<id>).
 //
 // With the disk backend, a runtime constructed over a previously used
 // directory resumes from the persisted state: Height reports the last
-// durably committed block and the chain restarts from the recorded
-// checkpoint instead of genesis.
+// durably committed block, and the chain restarts from the recorded
+// checkpoint instead of genesis — backed by the block store when block
+// persistence is on, so the pre-restart history stays servable. Opening
+// cross-checks the block log against the state checkpoint and replays any
+// blocks the log durably holds beyond it (a crash window the append-first
+// commit order makes possible; DESIGN.md §8).
 func NewRuntime(id string, committer CommitterConfig, engineOpts core.Options) (*Runtime, error) {
-	db, err := newStateDB(id, committer)
+	persist, err := committer.blockPersistence()
 	if err != nil {
 		return nil, fmt.Errorf("channel %s: %w", id, err)
 	}
+	// persist implies the disk backend: enforce its preconditions (the
+	// ones newStateDB would catch) BEFORE any store is opened, so a
+	// refused configuration creates nothing on disk — notably no empty
+	// blocks/ directory inside a legacy-layout datadir, which would
+	// dead-end the legacy migration hint on the rerun.
+	if persist {
+		if committer.DataDir == "" {
+			return nil, fmt.Errorf("channel %s: disk state backend requires CommitterConfig.DataDir", id)
+		}
+		if err := rejectLegacyStore(committer.DataDir); err != nil {
+			return nil, fmt.Errorf("channel %s: %w", id, err)
+		}
+	}
+	// A channel directory holding committed state but no block log
+	// predates block persistence (the upgrade path) or was deliberately
+	// created without it. Decide what to do from filesystem probes BEFORE
+	// opening anything, so a refused attempt leaves no empty store
+	// behind: Auto adopts the store's existing checkpoint-only shape —
+	// the documented "rerun with the same -datadir resumes" workflow
+	// keeps working across the upgrade — while an explicit PersistBlocksOn
+	// is refused, because the already-committed bodies cannot be
+	// re-derived.
+	if persist && !blockstore.Exists(filepath.Join(committer.DataDir, id, "blocks")) &&
+		stateHasCommits(filepath.Join(committer.DataDir, id)) {
+		if committer.PersistBlocks == PersistBlocksAuto {
+			persist = false
+		} else {
+			return nil, fmt.Errorf("channel %s: the store under %s has committed state but no block log: it predates block persistence, so the committed bodies cannot be re-derived; reopen with PersistBlocksOff (or the default Auto mode, which adopts the store as-is), or re-sync from a peer holding the history", id, filepath.Join(committer.DataDir, id))
+		}
+	}
+	rt := &Runtime{
+		id:           id,
+		committedIDs: make(map[string]struct{}),
+	}
+	// The block store opens first so the state backend can be handed a
+	// pre-compaction hook over it: the state must never become durable
+	// beyond the block log (DESIGN.md §8).
+	var beforeCompact func() error
+	if persist {
+		bs, err := blockstore.Open(filepath.Join(committer.DataDir, id, "blocks"),
+			blockstore.Options{SyncEveryAppend: committer.SyncEveryApply})
+		if err != nil {
+			return nil, fmt.Errorf("channel %s: %w", id, err)
+		}
+		rt.blocks = bs
+		beforeCompact = bs.Sync
+	}
+	db, err := newStateDB(id, committer, beforeCompact)
+	if err != nil {
+		if rt.blocks != nil {
+			rt.blocks.Close()
+		}
+		return nil, fmt.Errorf("channel %s: %w", id, err)
+	}
+	rt.db = db
+	rt.validator = mvcc.New(db)
+	rt.engine = core.NewEngine(db, engineOpts)
+	chain, err := rt.recoverChain()
+	if err != nil {
+		rt.Close()
+		return nil, fmt.Errorf("channel %s: %w", id, err)
+	}
+	rt.chain = chain
+	return rt, nil
+}
+
+// stateHasCommits reports whether a disk channel directory holds a state
+// store with at least one committed batch, without opening it: a
+// non-empty state.log (one frame per committed block) or a compacted
+// snapshot (only ever written after commits).
+func stateHasCommits(chDir string) bool {
+	if info, err := os.Stat(filepath.Join(chDir, "state.log")); err == nil && info.Size() > 0 {
+		return true
+	}
+	_, err := os.Stat(filepath.Join(chDir, "state.snap"))
+	return err == nil
+}
+
+// recoverChain derives the channel's chain from the durable state and,
+// when block persistence is on, reconciles the block log with the state
+// checkpoint: a log durably ahead of the checkpoint (the crash window the
+// append-block-then-apply-state commit order leaves open) is replayed into
+// the state; a log behind it means committed bodies are missing and is
+// refused. The recovery root is the ledger — the world state is a
+// rebuildable cache of it (DESIGN.md §8, docs/PERSISTENCE.md).
+func (rt *Runtime) recoverChain() (*ledger.Chain, error) {
 	// A durable state that already committed blocks carries a chain
 	// checkpoint (last block number + header hash): resume the chain from
 	// it, so newly delivered blocks are hash-verified against the recorded
@@ -97,23 +199,182 @@ func NewRuntime(id string, committer CommitterConfig, engineOpts core.Options) (
 	// matching checkpoint is damaged — refuse it rather than start a
 	// genesis chain whose fast-forward would silently swallow new blocks
 	// numbered at or below the stale height.
-	chain := ledger.NewChain(id)
-	if h := db.Height().BlockNum; h > 0 {
-		num, hash, ok := LoadCheckpoint(db)
+	h := rt.db.Height().BlockNum
+	var cpHash []byte
+	if h > 0 {
+		num, hash, ok := LoadCheckpoint(rt.db)
 		if !ok || num != h {
-			db.Close()
-			return nil, fmt.Errorf("channel %s: durable state at height %d has no matching chain checkpoint (found %d): store is damaged or from an incompatible version", id, h, num)
+			return nil, fmt.Errorf("durable state at height %d has no matching chain checkpoint (found %d): store is damaged or from an incompatible version", h, num)
 		}
-		chain = ledger.NewChainCheckpointed(num, hash)
+		cpHash = hash
 	}
-	return &Runtime{
-		id:           id,
-		db:           db,
-		chain:        chain,
-		validator:    mvcc.New(db),
-		engine:       core.NewEngine(db, engineOpts),
-		committedIDs: make(map[string]struct{}),
-	}, nil
+	genesisChain := ledger.NewChain(rt.id)
+	if rt.blocks == nil {
+		if h > 0 {
+			return ledger.NewChainCheckpointed(h, cpHash), nil
+		}
+		return genesisChain, nil
+	}
+
+	bh := rt.blocks.Height()
+	if bh == 0 {
+		if h > 0 {
+			return nil, fmt.Errorf("durable state at height %d has an empty block log: the store predates block persistence or lost its blocks/ directory; reopen with PersistBlocksOff to keep the checkpoint-only behaviour, or re-sync from a peer holding the history", h)
+		}
+		// Fresh store: persist the (deterministic) genesis block so the
+		// durable history starts at block 0 like the in-memory chain.
+		genesis, err := genesisChain.Get(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := rt.blocks.Append(genesis); err != nil {
+			return nil, err
+		}
+		return genesisChain, nil
+	}
+	if bh <= h {
+		return nil, fmt.Errorf("block log holds blocks [0, %d) but the state checkpoint is at block %d: durably committed block bodies are missing (truncated or foreign block log); restore the log, re-sync from a peer, or reopen with PersistBlocksOff", bh, h)
+	}
+
+	// The stored genesis must be this channel's — a cheap guard against a
+	// block log copied in from another channel or network.
+	storedGenesis, err := rt.blocks.Get(0)
+	if err != nil {
+		return nil, err
+	}
+	wantGenesis, err := genesisChain.Get(0)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(storedGenesis.HeaderHash(), wantGenesis.HeaderHash()) {
+		return nil, fmt.Errorf("block log genesis does not match channel %s: the block store belongs to a different channel or network", rt.id)
+	}
+	if h == 0 && bh == 1 {
+		// Restarted before any commit: only the genesis is stored and the
+		// fresh in-memory chain already covers it.
+		return genesisChain, nil
+	}
+
+	// Cross-check the checkpoint block against the log, then replay the
+	// gap: blocks the log committed durably before the crash cut off the
+	// state apply. Each replayed block must chain onto its predecessor —
+	// a log that diverges from the recorded checkpoint is foreign.
+	prevHash := wantGenesis.HeaderHash()
+	if h > 0 {
+		cp, err := rt.blocks.Get(h)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(cp.HeaderHash(), cpHash) {
+			return nil, fmt.Errorf("block %d in the block log does not match the state's chain checkpoint: the block store and state store are from different histories", h)
+		}
+		prevHash = cpHash
+	}
+	for n := h + 1; n < bh; n++ {
+		b, err := rt.blocks.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(b.Header.PrevHash, prevHash) {
+			return nil, fmt.Errorf("block %d in the block log does not chain onto block %d: the block log is corrupt or foreign", n, n-1)
+		}
+		prevHash = b.HeaderHash()
+		if err := rt.ReplayOwnedBlock(b); err != nil {
+			return nil, fmt.Errorf("replaying block %d from the block log: %w", n, err)
+		}
+	}
+	return ledger.NewChainCheckpointedWithSource(bh-1, prevHash, rt.blocks), nil
+}
+
+// ReplayBlock re-applies one committed block — carrying its commit-time
+// validation codes — to the channel's world state: the recovery primitive
+// behind Peer.RebuildState and the block-log gap replay above. CRDT
+// outcomes (CRDT_MERGED and INVALID_CRDT) are re-derived by re-running the
+// merge engine, which reconstructs the rewritten write sets and persisted
+// document states; everything else applies exactly the recorded codes, so
+// replaying the chain from block 0 reproduces the live state byte for
+// byte (DESIGN.md §5 determinism, now across restarts too).
+//
+// The caller must hold the commit mutex, or have exclusive use of the
+// runtime as during construction.
+func (rt *Runtime) ReplayBlock(stored *ledger.Block) error {
+	if stored.Header.Number == 0 {
+		return nil // the genesis block carries no state
+	}
+	// Replay on a working copy: the merge engine rewrites write sets, and
+	// the caller's block must stay pristine.
+	raw, err := stored.Marshal()
+	if err != nil {
+		return err
+	}
+	view, err := ledger.UnmarshalBlock(raw)
+	if err != nil {
+		return err
+	}
+	return rt.replayBlock(stored, view)
+}
+
+// ReplayOwnedBlock is ReplayBlock for a block the caller owns outright —
+// a fresh private decode from the block store that nothing else
+// references. The merge rewrites the block's write sets in place instead
+// of paying a serialization round-trip for a defensive copy, which is
+// what keeps full-chain replays at one JSON decode per block.
+func (rt *Runtime) ReplayOwnedBlock(stored *ledger.Block) error {
+	if stored.Header.Number == 0 {
+		return nil
+	}
+	return rt.replayBlock(stored, stored)
+}
+
+// replayBlock applies one committed block's recorded outcomes, merging
+// CRDT transactions on view (which may be stored itself for owned
+// blocks).
+func (rt *Runtime) replayBlock(stored, view *ledger.Block) error {
+	codes := make([]ledger.ValidationCode, len(view.Transactions))
+	copy(codes, stored.Metadata.ValidationCodes)
+	// Re-derive the CRDT outcomes so the engine re-merges them — including
+	// INVALID_CRDT transactions, whose intact deltas still extended their
+	// keys' documents at live commit (a failed transaction never rolls
+	// back a key group; DESIGN.md §5) and must do so again on replay.
+	for i := range codes {
+		if codes[i] == ledger.CodeCRDTMerged || codes[i] == ledger.CodeInvalidCRDT {
+			codes[i] = ledger.CodeNotValidated
+		}
+	}
+	// With no re-derived codes (a stock-Fabric history) every transaction
+	// is already decided and the merge is a no-op.
+	mergeRes, err := rt.engine.MergeBlock(view, codes)
+	if err != nil {
+		return err
+	}
+	batch, err := rt.StageCommit(view, stored, mergeRes, stored.Metadata.ValidationCodes)
+	if err != nil {
+		return err
+	}
+	rt.db.Apply(batch, rwset.Version{BlockNum: view.Header.Number})
+	for _, tx := range view.Transactions {
+		rt.MarkCommitted(tx.ID)
+	}
+	return nil
+}
+
+// StageCommit assembles one block's atomic commit batch: the validated
+// write sets, the merged CRDT document states, the durable
+// duplicate-screening markers and the chain checkpoint. It is THE
+// definition of what a commit durably writes — the live finalize stage
+// and the replay path both build their batch here, so the two can never
+// drift apart (the byte-identical-replay guarantee depends on that).
+// codes are the authoritative validation codes deciding which write sets
+// commit; stored is the pristine block whose header the checkpoint
+// records.
+func (rt *Runtime) StageCommit(view, stored *ledger.Block, mergeRes core.Result, codes []ledger.ValidationCode) (*statedb.UpdateBatch, error) {
+	batch := mvcc.BuildCommitBatch(view.Header.Number, view.Transactions, codes)
+	core.StageDocStates(batch, mergeRes)
+	StageTxSeen(batch, view.Transactions)
+	if err := StageCheckpoint(batch, stored); err != nil {
+		return nil, err
+	}
+	return batch, nil
 }
 
 // ID returns the channel ID.
@@ -124,6 +385,11 @@ func (rt *Runtime) DB() *statedb.DB { return rt.db }
 
 // Chain returns the channel's blockchain.
 func (rt *Runtime) Chain() *ledger.Chain { return rt.chain }
+
+// Blocks returns the channel's durable block store, or nil when block
+// persistence is off. When non-nil it covers the contiguous range
+// [0, Chain().Height()) — the full history, across restarts.
+func (rt *Runtime) Blocks() *blockstore.Store { return rt.blocks }
 
 // Validator returns the channel's MVCC validator.
 func (rt *Runtime) Validator() *mvcc.Validator { return rt.validator }
@@ -136,10 +402,23 @@ func (rt *Runtime) Engine() *core.Engine { return rt.engine }
 // committed block, which survives restarts.
 func (rt *Runtime) Height() uint64 { return rt.db.Height().BlockNum }
 
-// Close releases the channel's state backend (a no-op for in-memory
-// backends). With the disk backend it flushes the log and surfaces any
-// deferred write error; the runtime must not commit afterwards.
-func (rt *Runtime) Close() error { return rt.db.Close() }
+// Close releases the channel's block store and state backend (a no-op for
+// in-memory backends). With the disk backend it flushes the logs and
+// surfaces the first deferred write error; the runtime must not commit
+// afterwards. The block store closes (and syncs) first: a power loss
+// mid-Close must never leave the state durable beyond the block log.
+func (rt *Runtime) Close() error {
+	var err error
+	if rt.blocks != nil {
+		err = rt.blocks.Close()
+	}
+	if rt.db != nil {
+		if derr := rt.db.Close(); err == nil {
+			err = derr
+		}
+	}
+	return err
+}
 
 // Lock acquires the channel's commit mutex: commits on one channel are
 // serialized, commits on different channels never contend.

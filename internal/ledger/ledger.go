@@ -1,12 +1,16 @@
 // Package ledger implements a Fabric peer's ledger: transaction envelopes,
 // blocks with a SHA-256 hash chain, per-transaction validation flags, and an
-// append-only block store (paper §2.1: "the peer's ledger consists of an
+// append-only block chain (paper §2.1: "the peer's ledger consists of an
 // append-only blockchain and a world state database").
 //
-// A Chain normally grows from the channel genesis block; a peer restored
+// A Chain normally grows from the channel genesis block. A peer restored
 // from a durable state checkpoint instead resumes an empty chain after a
 // recorded (block number, header hash) pair (NewChainCheckpointed), with
-// every later append still hash-verified against it.
+// every later append still hash-verified against it; when the peer also
+// kept a durable block store (internal/blockstore), the checkpointed chain
+// is backed by it (NewChainCheckpointedWithSource) and keeps answering
+// Get(n) for the pre-checkpoint history — so a restarted peer serves old
+// blocks to syncing peers and can replay its ledger from block 0.
 package ledger
 
 import (
@@ -217,14 +221,28 @@ var (
 	ErrBlockNotFound = errors.New("ledger: block not found")
 )
 
-// Chain is an append-only block store with hash-chain verification on
+// BlockSource serves committed block bodies by number — the read side of
+// a durable block store backing a checkpointed chain. A source must cover
+// the contiguous range [0, Height()) and be safe for concurrent use.
+type BlockSource interface {
+	// Get returns block n, or an error wrapping ErrBlockNotFound when the
+	// source does not hold it.
+	Get(n uint64) (*Block, error)
+	// Height returns the number of stored blocks.
+	Height() uint64
+}
+
+// Chain is an append-only block chain with hash-chain verification on
 // append. It is safe for concurrent use.
 //
 // A chain normally starts at the genesis block. A chain restored from a
 // checkpoint (NewChainCheckpointed) starts empty after a known (number,
 // header hash) pair instead: block bodies before the checkpoint are not
-// available locally — the durable world state already reflects them — but
-// every later append is still hash-verified against the checkpoint.
+// held in memory — the durable world state already reflects them — but
+// every later append is still hash-verified against the checkpoint. A
+// checkpointed chain constructed with a BlockSource
+// (NewChainCheckpointedWithSource) additionally serves the pre-checkpoint
+// bodies from that source, so Get works over the full history.
 type Chain struct {
 	mu     sync.RWMutex
 	blocks []*Block
@@ -237,6 +255,9 @@ type Chain struct {
 	// restored from a checkpoint (checkpointed true).
 	checkpointHash []byte
 	checkpointed   bool
+	// source serves pre-checkpoint block bodies (numbers below base) when
+	// the peer kept a durable block store; nil otherwise.
+	source BlockSource
 	// verifiedNext is the block pointer that passed the most recent
 	// CheckNext, letting a subsequent Append of the same (unmodified)
 	// block skip recomputing the data hash — the expensive half of the
@@ -277,6 +298,16 @@ func NewChainCheckpointed(lastNumber uint64, lastHash []byte) *Chain {
 	}
 }
 
+// NewChainCheckpointedWithSource is NewChainCheckpointed over a peer that
+// kept its block bodies: src must cover [0, lastNumber], and the chain
+// serves Get for the whole history — pre-checkpoint numbers from src,
+// later ones from memory. FirstNumber reports 0.
+func NewChainCheckpointedWithSource(lastNumber uint64, lastHash []byte, src BlockSource) *Chain {
+	c := NewChainCheckpointed(lastNumber, lastHash)
+	c.source = src
+	return c
+}
+
 // Checkpoint returns the (number, header hash) the chain was restored
 // from, if it was created by NewChainCheckpointed.
 func (c *Chain) Checkpoint() (number uint64, headerHash []byte, ok bool) {
@@ -297,11 +328,15 @@ func (c *Chain) Height() uint64 {
 	return c.nextNumber
 }
 
-// FirstNumber returns the number of the earliest locally stored block: 0
-// for a genesis chain, the checkpoint successor for a checkpointed chain.
+// FirstNumber returns the number of the earliest locally retrievable
+// block: 0 for a genesis chain or a checkpointed chain backed by a block
+// source, the checkpoint successor for a bare checkpointed chain.
 func (c *Chain) FirstNumber() uint64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
+	if c.source != nil {
+		return 0
+	}
 	return c.base
 }
 
@@ -325,15 +360,27 @@ func (c *Chain) LastRef() (number uint64, headerHash []byte) {
 	return c.nextNumber - 1, c.nextPrevHash
 }
 
-// Get returns block number n. Blocks before a checkpoint are not locally
-// stored and report ErrBlockNotFound.
+// Get returns block number n. On a checkpointed chain, numbers before the
+// checkpoint are served from the backing block source when one exists;
+// without a source they report ErrBlockNotFound.
 func (c *Chain) Get(n uint64) (*Block, error) {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if n < c.base || n >= c.nextNumber {
-		return nil, fmt.Errorf("%w: %d (stored range [%d, %d))", ErrBlockNotFound, n, c.base, c.nextNumber)
+	base, next, src := c.base, c.nextNumber, c.source
+	var b *Block
+	if n >= base && n < next {
+		b = c.blocks[n-base]
 	}
-	return c.blocks[n-c.base], nil
+	c.mu.RUnlock()
+	if b != nil {
+		return b, nil
+	}
+	if n < base && src != nil {
+		// Outside the chain lock: the source does its own disk I/O and
+		// synchronization, and a history read must not stall appenders
+		// (base and source never change after construction).
+		return src.Get(n)
+	}
+	return nil, fmt.Errorf("%w: %d (stored range [%d, %d))", ErrBlockNotFound, n, base, next)
 }
 
 // Append verifies the hash chain and appends the block.
@@ -434,9 +481,10 @@ func (c *Chain) Verify() error {
 	return nil
 }
 
-// Blocks returns a snapshot of all locally stored blocks in order (genesis
-// first, unless the chain was restored from a checkpoint); the slice is
-// fresh, the block pointers are shared.
+// Blocks returns a snapshot of all in-memory blocks in order (genesis
+// first, unless the chain was restored from a checkpoint — a backing block
+// source's pre-checkpoint history is not included; iterate the source for
+// that); the slice is fresh, the block pointers are shared.
 func (c *Chain) Blocks() []*Block {
 	c.mu.RLock()
 	defer c.mu.RUnlock()

@@ -20,6 +20,14 @@
 // own recorded block height — HeightOn reports it, and CommitBlockOn
 // fast-forwards re-delivered blocks at or below it instead of
 // re-validating them (DESIGN.md §4, §6).
+//
+// Alongside the state store, the disk backend keeps a durable block store
+// by default (CommitterConfig.PersistBlocks, internal/blockstore): every
+// committed block body is appended in the finalize stage just before the
+// state apply, so the ledger — not the state snapshot — is the recovery
+// root. A restarted peer serves its full history to syncing peers
+// (SyncFrom) and can rebuild its world state from block 0 (RebuildState),
+// reproducing the pre-restart state byte for byte (DESIGN.md §8).
 package peer
 
 import (
@@ -34,7 +42,6 @@ import (
 	"fabriccrdt/internal/endorse"
 	"fabriccrdt/internal/ledger"
 	"fabriccrdt/internal/metrics"
-	"fabriccrdt/internal/mvcc"
 	"fabriccrdt/internal/rwset"
 	"fabriccrdt/internal/statedb"
 )
@@ -314,8 +321,11 @@ func (p *Peer) ChainOn(channelID string) (*ledger.Chain, error) {
 }
 
 // Genesis returns the default channel's genesis block. It panics on a peer
-// restored from a durable state checkpoint, whose chain no longer stores
-// the genesis body — use Chain().LastRef for the resume point instead.
+// restored from a durable state checkpoint without a block store (block
+// persistence off), whose chain no longer holds the genesis body — use
+// Chain().LastRef for the resume point instead. With block persistence on
+// (the disk-backend default) the genesis stays retrievable across
+// restarts.
 func (p *Peer) Genesis() *ledger.Block {
 	g, err := p.Chain().Get(0)
 	if err != nil {
@@ -475,8 +485,11 @@ func (p *Peer) validateEndorsements(tx *ledger.Transaction) ledger.ValidationCod
 // committing, channel by channel, every block this peer is missing — the
 // state-transfer path a freshly joined or restarted peer runs before
 // serving endorsements. The source must have every channel this peer
-// joined. Blocks are re-validated from scratch (endorsements, merge,
-// MVCC), so a lying source cannot inject invalid state; only the
+// joined; a restarted disk-backed source serves its pre-restart history
+// from its durable block store (its checkpointed chains answer Get for
+// the whole range [0, height)), so syncing from block 0 works across the
+// source's restarts. Blocks are re-validated from scratch (endorsements,
+// merge, MVCC), so a lying source cannot inject invalid state; only the
 // hash-chained block contents are trusted as delivered.
 func (p *Peer) SyncFrom(source *Peer) error {
 	for _, id := range p.channelIDs {
@@ -507,12 +520,15 @@ func (p *Peer) SyncFrom(source *Peer) error {
 // all valid transactions included in the blockchain starting from the
 // genesis block results in the current state"). The committed blocks
 // already carry their validation codes, so replay applies exactly the
-// recorded outcomes. Channels rebuild independently.
+// recorded outcomes and reproduces the live state byte for byte
+// (channel.Runtime.ReplayBlock). Channels rebuild independently.
 //
-// A channel restored from a durable state checkpoint cannot rebuild: the
-// pre-checkpoint block bodies are not stored locally. Its recovery path is
-// the inverse — the durable state IS the replay result, and CommitBlockOn
-// fast-forwards any re-delivered history.
+// With block persistence on (the disk-backend default), the durable block
+// store covers the full history even across restarts, so a restarted peer
+// rebuilds from block 0. A checkpointed channel WITHOUT a block store
+// (CommitterConfig.PersistBlocks off) cannot rebuild — the pre-checkpoint
+// bodies are gone; its recovery path is the inverse: the durable state IS
+// the replay result, and CommitBlockOn fast-forwards re-delivered history.
 func (p *Peer) RebuildState() error {
 	for _, id := range p.channelIDs {
 		if err := p.rebuildChannel(p.channels[id]); err != nil {
@@ -525,49 +541,25 @@ func (p *Peer) RebuildState() error {
 func (p *Peer) rebuildChannel(rt *channel.Runtime) error {
 	rt.Lock()
 	defer rt.Unlock()
-	if rt.Chain().FirstNumber() > 0 {
-		return fmt.Errorf("peer %s: cannot rebuild channel %s from a chain checkpointed at block %d: pre-checkpoint blocks are not stored locally", p.cfg.Name, rt.ID(), rt.Chain().FirstNumber()-1)
+	if bs := rt.Blocks(); bs != nil {
+		// The persisted chain covers [0, height): replay it from scratch.
+		// Each iterated block is a fresh private decode, so the owned
+		// (copy-free) replay applies.
+		rt.DB().Reset()
+		rt.ResetCommitted()
+		if err := bs.Iterate(1, rt.ReplayOwnedBlock); err != nil {
+			return fmt.Errorf("peer %s: rebuilding channel %s from its block store: %w", p.cfg.Name, rt.ID(), err)
+		}
+		return nil
+	}
+	if num, _, ok := rt.Chain().Checkpoint(); ok {
+		return fmt.Errorf("peer %s: cannot rebuild channel %s from a chain checkpointed at block %d: pre-checkpoint blocks are not stored locally (block persistence is off); enable CommitterConfig.PersistBlocks or SyncFrom a peer holding the history", p.cfg.Name, rt.ID(), num)
 	}
 	rt.DB().Reset()
 	rt.ResetCommitted()
 	for _, block := range rt.Chain().Blocks() {
-		if block.Header.Number == 0 {
-			continue
-		}
-		// Re-run the merge so CRDT write rewrites are reconstructed; the
-		// recorded codes say which transactions were merged vs failed.
-		raw, err := block.Marshal()
-		if err != nil {
-			return err
-		}
-		view, err := ledger.UnmarshalBlock(raw)
-		if err != nil {
-			return err
-		}
-		codes := make([]ledger.ValidationCode, len(view.Transactions))
-		copy(codes, block.Metadata.ValidationCodes)
-		var mergeRes core.Result
-		if p.cfg.EnableCRDT {
-			// Reset merged markers so the engine re-merges them.
-			for i := range codes {
-				if codes[i] == ledger.CodeCRDTMerged {
-					codes[i] = ledger.CodeNotValidated
-				}
-			}
-			mergeRes, err = rt.Engine().MergeBlock(view, codes)
-			if err != nil {
-				return fmt.Errorf("peer %s: replaying block %d of channel %s: %w", p.cfg.Name, view.Header.Number, rt.ID(), err)
-			}
-		}
-		batch := mvcc.BuildCommitBatch(view.Header.Number, view.Transactions, block.Metadata.ValidationCodes)
-		core.StageDocStates(batch, mergeRes)
-		channel.StageTxSeen(batch, view.Transactions)
-		if err := channel.StageCheckpoint(batch, block); err != nil {
-			return err
-		}
-		rt.DB().Apply(batch, rwset.Version{BlockNum: view.Header.Number})
-		for _, tx := range view.Transactions {
-			rt.MarkCommitted(tx.ID)
+		if err := rt.ReplayBlock(block); err != nil {
+			return fmt.Errorf("peer %s: replaying block %d of channel %s: %w", p.cfg.Name, block.Header.Number, rt.ID(), err)
 		}
 	}
 	return nil

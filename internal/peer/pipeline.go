@@ -9,9 +9,9 @@ import (
 	"fabriccrdt/internal/core"
 	"fabriccrdt/internal/ledger"
 	"fabriccrdt/internal/metrics"
-	"fabriccrdt/internal/mvcc"
 	"fabriccrdt/internal/parallel"
 	"fabriccrdt/internal/rwset"
+	"fabriccrdt/internal/statedb"
 )
 
 // State backend names for CommitterConfig.Backend (aliases of the channel
@@ -27,6 +27,21 @@ const (
 	// DataDir. A peer reopening the same DataDir resumes every channel
 	// from its last committed block instead of replaying the chain.
 	BackendDisk = channel.BackendDisk
+)
+
+// Block-body persistence modes for CommitterConfig.PersistBlocks (aliases
+// of the channel subsystem's constants). With the block store on — the
+// default for the disk backend — the ledger is the recovery root: a
+// restarted peer serves its full history (SyncFrom) and can rebuild its
+// world state from block 0 (RebuildState). DESIGN.md §8.
+const (
+	// PersistBlocksAuto enables the block store iff the backend is
+	// BackendDisk.
+	PersistBlocksAuto = channel.PersistBlocksAuto
+	// PersistBlocksOn requires the block store (BackendDisk only).
+	PersistBlocksOn = channel.PersistBlocksOn
+	// PersistBlocksOff keeps the state-checkpoint-only durability.
+	PersistBlocksOff = channel.PersistBlocksOff
 )
 
 // CommitterConfig tunes the staged commit pipeline and the world-state
@@ -234,14 +249,22 @@ func (p *Peer) FinalizeBlockOn(prep *PreparedBlock) (CommitResult, error) {
 		rt.Validator().ValidateBlock(view.Header.Number, view.Transactions, codes)
 	})
 
-	// Atomic commit: state writes + CRDT document states + the chain
-	// checkpoint a restarted peer resumes from, then the ledger append of
-	// the pristine block carrying the validation codes.
+	// Atomic commit: the pristine block body (now carrying its validation
+	// codes) goes to the durable block store FIRST, then the state writes +
+	// CRDT document states + the chain checkpoint a restarted peer resumes
+	// from. The order is the recovery invariant: the block log is never
+	// behind the durable state, so a crash between the two leaves a
+	// log-ahead gap the next open replays (DESIGN.md §8) — the reverse
+	// order could checkpoint state whose block body is lost forever.
 	p.timings.Time(StageApply, func() {
-		batch := mvcc.BuildCommitBatch(view.Header.Number, view.Transactions, codes)
-		core.StageDocStates(batch, mergeRes)
-		channel.StageTxSeen(batch, view.Transactions)
-		if err = channel.StageCheckpoint(batch, stored); err != nil {
+		stored.Metadata.ValidationCodes = codes
+		if bs := rt.Blocks(); bs != nil {
+			if err = bs.Append(stored); err != nil {
+				return
+			}
+		}
+		var batch *statedb.UpdateBatch
+		if batch, err = rt.StageCommit(view, stored, mergeRes, codes); err != nil {
 			return
 		}
 		rt.DB().Apply(batch, rwset.Version{BlockNum: view.Header.Number})
@@ -252,7 +275,6 @@ func (p *Peer) FinalizeBlockOn(prep *PreparedBlock) (CommitResult, error) {
 
 	committed := 0
 	p.timings.Time(StageAppend, func() {
-		stored.Metadata.ValidationCodes = codes
 		if err = rt.Chain().Append(stored); err != nil {
 			return
 		}
@@ -296,9 +318,16 @@ func (p *Peer) fastForward(rt *channel.Runtime, stored *ledger.Block) (CommitRes
 	switch {
 	case num >= rt.Chain().Height():
 		// Missing from the chain (e.g. a checkpointed chain receiving the
-		// block right after its checkpoint): Append hash-verifies it.
+		// block right after its checkpoint): Append hash-verifies it. Keep
+		// the block store in step so it stays a contiguous [0, height)
+		// image of the chain.
 		if err := rt.Chain().Append(stored); err != nil {
 			return CommitResult{}, fmt.Errorf("peer %s: fast-forwarding block %d on %s: %w", p.cfg.Name, num, rt.ID(), err)
+		}
+		if bs := rt.Blocks(); bs != nil && bs.Height() == num {
+			if err := bs.Append(stored); err != nil {
+				return CommitResult{}, fmt.Errorf("peer %s: fast-forwarding block %d on %s: %w", p.cfg.Name, num, rt.ID(), err)
+			}
 		}
 	case num >= rt.Chain().FirstNumber():
 		// Locally stored: the re-delivered copy must be the same block.

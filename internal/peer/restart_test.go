@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"fabriccrdt/internal/channel"
@@ -150,9 +151,13 @@ func TestDiskPeerCrashRestart(t *testing.T) {
 // TestDiskPeerRestartWithoutRedelivery models the fabricnet restart: the
 // rebuilt peer never sees old blocks again — the ordering service resumes
 // numbering after the checkpoint — and must commit fresh blocks directly.
+// Block persistence is explicitly OFF: this is the state-checkpoint-only
+// fallback, where the restarted peer resumes committing but holds no
+// pre-restart bodies (the block-store path is covered by
+// blockstore_restart_test.go).
 func TestDiskPeerRestartWithoutRedelivery(t *testing.T) {
 	dir := t.TempDir()
-	committer := CommitterConfig{Backend: BackendDisk, DataDir: dir}
+	committer := CommitterConfig{Backend: BackendDisk, DataDir: dir, PersistBlocks: PersistBlocksOff}
 
 	env := newEnvWithCommitter(t, true, committer)
 	env.install(t, "iot", iotChaincode())
@@ -197,10 +202,20 @@ func TestDiskPeerRestartWithoutRedelivery(t *testing.T) {
 		t.Fatalf("pre-restart tx ID recommitted with code %v, want DUPLICATE_TXID", dupRes.Codes[0])
 	}
 
-	// RebuildState is the full-chain recovery path; a checkpointed peer
-	// must refuse it rather than wipe durable state it cannot re-derive.
-	if err := restarted.peer.RebuildState(); err == nil {
-		t.Fatal("RebuildState succeeded on a checkpointed chain")
+	// RebuildState is the full-chain recovery path; with block persistence
+	// off, a checkpointed peer must refuse it rather than wipe durable
+	// state it cannot re-derive — and the refusal must name the real
+	// checkpoint height, not a derivation that can drift from it.
+	err = restarted.peer.RebuildState()
+	if err == nil {
+		t.Fatal("RebuildState succeeded on a checkpointed chain without a block store")
+	}
+	cpNum, _, ok := restarted.peer.Chain().Checkpoint()
+	if !ok {
+		t.Fatal("restarted chain is not checkpointed")
+	}
+	if want := fmt.Sprintf("checkpointed at block %d", cpNum); !strings.Contains(err.Error(), want) {
+		t.Fatalf("refusal does not name the checkpoint height (%q): %v", want, err)
 	}
 }
 

@@ -68,6 +68,12 @@ type DiskOptions struct {
 	// compaction: a process crash loses nothing, a host power loss may
 	// lose the most recent batches (never corrupting earlier ones).
 	SyncEveryApply bool
+	// BeforeCompact, when set, runs right before a compaction makes the
+	// whole state durable (snapshot fsync + rename). The channel runtime
+	// uses it to fsync the peer's block store first, so a power loss
+	// around compaction cannot leave the durable state ahead of the block
+	// log. An error aborts the compaction; the log stays authoritative.
+	BeforeCompact func() error
 }
 
 const defaultCompactAfterBytes = 8 << 20
@@ -341,6 +347,11 @@ func (b *diskBackend) appendFrame(payload []byte) error {
 // log (mu held). A crash at any point leaves either the old snapshot + old
 // log or the new snapshot + (possibly still full, harmlessly replayed) log.
 func (b *diskBackend) compactLocked() error {
+	if b.opts.BeforeCompact != nil {
+		if err := b.opts.BeforeCompact(); err != nil {
+			return fmt.Errorf("statedb: pre-compaction hook: %w", err)
+		}
+	}
 	payload := encodeSnapshot(b.data, b.meta, b.height)
 	if len(payload) > maxRecordBytes {
 		// Writing this snapshot would produce a frame replay rejects (or,

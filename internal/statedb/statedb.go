@@ -14,6 +14,11 @@
 // snapshot compaction — whose contents and last-committed block height
 // survive restarts, so a reopened peer resumes from where it stopped
 // instead of replaying the chain (DESIGN.md §4).
+//
+// Even durable, the world state is only a cache: the ledger's durable
+// block store (internal/blockstore, on by default beside a disk-backed
+// state) is the recovery root it can always be rebuilt from (DESIGN.md
+// §8, docs/PERSISTENCE.md).
 package statedb
 
 import (
