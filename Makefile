@@ -24,7 +24,7 @@ test: vet
 race: vet
 	$(GO) test -race ./...
 
-BENCHES = 'BenchmarkCommitPipeline|BenchmarkCommitBackends|BenchmarkCommitChannels|BenchmarkCommitAsync'
+BENCHES = 'BenchmarkCommitPipeline|BenchmarkCommitBackends|BenchmarkCommitChannels|BenchmarkCommitAsync|BenchmarkCommitFinalize'
 
 # Commit-pipeline benchmark; refreshes BENCH_commit.json.
 bench:
@@ -32,9 +32,10 @@ bench:
 
 # One quick pass of the commit benchmark per state backend (memory,
 # sharded, disk with and without the block store), the worker sweep, the
-# channel-scaling sweep (1/2/4/8 channels) and the async-pipeline depth
-# sweep (0/1/2/4) — enough for CI to refresh and archive BENCH_commit.json
-# without a long benchmark run.
+# channel-scaling sweep (1/2/4/8 channels), the async-pipeline depth sweep
+# (0/1/2/4) and the finalize-scheduler sweep (conflict rate 0/25/100% at
+# 1/2/4/8 finalize workers) — enough for CI to refresh and archive
+# BENCH_commit.json without a long benchmark run.
 bench-smoke:
 	$(GO) test -run xxx -bench $(BENCHES) -benchtime=3x .
 

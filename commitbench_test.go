@@ -160,11 +160,19 @@ type commitBenchEntry struct {
 	// per-block benchmarks). With Pipeline > 0, BlockTxs counts one block
 	// and NsPerBlock is wall time per block of the whole pipelined
 	// multi-block stream.
-	Pipeline   int     `json:"pipeline,omitempty"`
-	BlockTxs   int     `json:"block_txs"`
-	Workers    int     `json:"workers"`
-	NsPerBlock int64   `json:"ns_per_block"`
-	TxPerSec   float64 `json:"tx_per_s"`
+	Pipeline int `json:"pipeline,omitempty"`
+	BlockTxs int `json:"block_txs"`
+	Workers  int `json:"workers"`
+	// FinalizeWorkers is the intra-block dependency scheduler's worker
+	// count (BenchmarkCommitFinalize; 0 marks entries from before the
+	// scheduler existed — the legacy serial finalize).
+	FinalizeWorkers int `json:"finalize_workers,omitempty"`
+	// ConflictRate is the benchmark block's conflicting-transaction share
+	// in percent (BenchmarkCommitFinalize; omitted when zero — the
+	// all-independent block).
+	ConflictRate int     `json:"conflict_rate,omitempty"`
+	NsPerBlock   int64   `json:"ns_per_block"`
+	TxPerSec     float64 `json:"tx_per_s"`
 }
 
 var (
@@ -174,7 +182,7 @@ var (
 
 // benchKey is one configuration's identity in BENCH_commit.json.
 func benchKey(e commitBenchEntry) string {
-	return fmt.Sprintf("%v/%s/%d/%v/%d/%d/%d/%d", e.CRDT, e.Backend, e.Shards, e.PersistBlocks, e.Channels, e.Pipeline, e.BlockTxs, e.Workers)
+	return fmt.Sprintf("%v/%s/%d/%v/%d/%d/%d/%d/%d/%d", e.CRDT, e.Backend, e.Shards, e.PersistBlocks, e.Channels, e.Pipeline, e.BlockTxs, e.Workers, e.FinalizeWorkers, e.ConflictRate)
 }
 
 // loadCommitBench seeds the in-memory result map from the committed
@@ -240,7 +248,13 @@ func recordCommitBench(b *testing.B, e commitBenchEntry) {
 		if a.BlockTxs != c.BlockTxs {
 			return a.BlockTxs < c.BlockTxs
 		}
-		return a.Workers < c.Workers
+		if a.Workers != c.Workers {
+			return a.Workers < c.Workers
+		}
+		if a.ConflictRate != c.ConflictRate {
+			return a.ConflictRate < c.ConflictRate
+		}
+		return a.FinalizeWorkers < c.FinalizeWorkers
 	})
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {
@@ -487,6 +501,123 @@ func BenchmarkCommitAsync(b *testing.B) {
 			BlockTxs: blockTxs, Workers: 1,
 			NsPerBlock: nsPerBlock, TxPerSec: txPerSec,
 		})
+	}
+}
+
+// plainBenchChaincode reads and rewrites an ordinary key — the MVCC-
+// validated transaction shape the finalize scheduler's wavefronts apply to
+// (CRDT-flagged writes leave the schedule for the merge path).
+func plainBenchChaincode() chaincode.Chaincode {
+	return chaincode.Func(func(stub chaincode.Stub) error {
+		_, params := stub.Function()
+		if _, err := stub.GetState(params[0]); err != nil {
+			return err
+		}
+		return stub.PutState(params[0], []byte(params[1]))
+	})
+}
+
+// endorsedPlainBlock assembles a block of n plain (MVCC-validated)
+// transactions in which conflictPct percent read-and-write one shared hot
+// key (a dependency chain the scheduler must serialize) and the rest touch
+// unique keys (a single wavefront). The endorser must have "plainbench"
+// installed.
+func (f *commitFixture) endorsedPlainBlock(b *testing.B, n, conflictPct int) *ledger.Block {
+	b.Helper()
+	creator, err := f.client.Identity.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	channelID := f.channels[0]
+	txs := make([]*ledger.Transaction, n)
+	for i := range txs {
+		key := fmt.Sprintf("u-%d-%d", conflictPct, i)
+		if i*100 < n*conflictPct {
+			key = "hot"
+		}
+		txID := fmt.Sprintf("fin-%d-%d", conflictPct, i)
+		args := [][]byte{[]byte("put"), []byte(key), []byte(fmt.Sprintf("%d", i))}
+		resp, err := f.endorser.Endorse(peer.Proposal{
+			TxID: txID, ChannelID: channelID, Chaincode: "plainbench", Args: args, Creator: creator,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		txs[i] = &ledger.Transaction{
+			ID: txID, ChannelID: channelID, Chaincode: "plainbench", Creator: creator, Args: args,
+			RWSet:        resp.RWSet,
+			Endorsements: []ledger.Endorsement{{Endorser: resp.Endorser, Signature: resp.Signature}},
+		}
+	}
+	chain, err := f.endorser.ChainOn(channelID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	assembler := orderer.NewAssembler(chain.Last())
+	block, err := assembler.Assemble(orderer.Batch{Transactions: txs, Reason: orderer.CutMaxMessages})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return block
+}
+
+// BenchmarkCommitFinalize measures the intra-block dependency scheduler:
+// one 100-transaction plain block at 0/25/100% conflict rate, finalized at
+// 1/2/4/8 finalize workers with the endorsement-validation pool pinned
+// (Workers=4) so only the finalize stage's parallelism moves. Conflict-free
+// blocks are one wavefront — the shape multi-core hosts speed up; the
+// all-conflicting block degenerates to one transaction per wave, the
+// scheduler's honest worst case. On a single-core host every setting
+// reports parity (the scheduler adds no parallelism to one CPU); that
+// parity entry is recorded as-is rather than filtered.
+func BenchmarkCommitFinalize(b *testing.B) {
+	const blockTxs, workers = 100, 4
+	fix := newCommitFixture(b, true)
+	fix.endorser.InstallChaincode("plainbench", plainBenchChaincode(), fix.policy)
+	for _, conflictPct := range []int{0, 25, 100} {
+		block := fix.endorsedPlainBlock(b, blockTxs, conflictPct)
+		// Only the first transaction of the hot-key chain survives MVCC.
+		wantCommitted := blockTxs
+		if conflictPct > 0 {
+			wantCommitted = blockTxs - blockTxs*conflictPct/100 + 1
+		}
+		for _, fw := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("conflict=%d/finalize=%d", conflictPct, fw), func(b *testing.B) {
+				cfg := peer.CommitterConfig{Workers: workers, FinalizeWorkers: fw}
+				var total time.Duration
+				var lastPeer *peer.Peer
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					p := fix.newPeer(b, cfg)
+					p.InstallChaincode("plainbench", plainBenchChaincode(), fix.policy)
+					lastPeer = p
+					b.StartTimer()
+					start := time.Now()
+					res, err := p.CommitBlock(block)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += time.Since(start)
+					if res.CommittedTx != wantCommitted {
+						b.Fatalf("committed %d/%d", res.CommittedTx, wantCommitted)
+					}
+				}
+				nsPerBlock := total.Nanoseconds() / int64(b.N)
+				txPerSec := float64(blockTxs) / (float64(nsPerBlock) / 1e9)
+				b.ReportMetric(txPerSec, "tx/s")
+				for _, s := range lastPeer.CommitTimings() {
+					if s.Stage == peer.StageFinalize || s.Stage == peer.StageSchedule || s.Stage == peer.StageMVCC {
+						b.ReportMetric(float64(s.Avg.Nanoseconds()), s.Stage+"_ns")
+					}
+				}
+				recordCommitBench(b, commitBenchEntry{
+					CRDT: true, Backend: peer.BackendMemory, BlockTxs: blockTxs,
+					Workers: workers, FinalizeWorkers: fw, ConflictRate: conflictPct,
+					NsPerBlock: nsPerBlock, TxPerSec: txPerSec,
+				})
+			})
+		}
 	}
 }
 

@@ -55,14 +55,26 @@ type (
 	// synchronous), the world-state backend (Backend/StateShards/
 	// DataDir/SyncEveryApply — see the Backend* constants) and the durable
 	// block store (PersistBlocks — see the PersistBlocks* constants; on by
-	// default with BackendDisk). One configuration applies per channel: a
-	// zero Workers is resolved adaptively (the host's CPUs divided across
-	// the network's channels); any Workers or Pipeline setting produces
+	// default with BackendDisk) and the intra-block finalize scheduler
+	// (FinalizeWorkers: >1 validates non-conflicting transactions of one
+	// block concurrently along a dependency-graph wavefront schedule, with
+	// the CRDT merge running beside MVCC validation; 1 = serial; 0 inherits
+	// Workers). One configuration applies per channel: a zero Workers is
+	// resolved adaptively (the host's CPUs divided across the network's
+	// channels); any Workers, Pipeline or FinalizeWorkers setting produces
 	// identical commit results.
 	CommitterConfig = peer.CommitterConfig
 	// CommitStageSummary aggregates one commit-pipeline stage's latencies,
 	// as returned by Peer.CommitTimings.
 	CommitStageSummary = metrics.StageSummary
+	// CommitAggregate is a peer's skew-free commit-latency rollup
+	// (Peer.CommitAggregate): Wall is elapsed pipeline time, CPU sums the
+	// work done inside it — concurrent stages make CPU exceed Wall.
+	CommitAggregate = peer.CommitAggregate
+	// SchedulerCounter is one finalize-scheduler statistic, as returned by
+	// Peer.SchedulerCounters (scheduled blocks/transactions, conflict
+	// groups, dependency edges, wavefront counts).
+	SchedulerCounter = metrics.Counter
 )
 
 // World-state backend names for CommitterConfig.Backend.

@@ -1,0 +1,46 @@
+package channel
+
+import (
+	"sync"
+
+	"fabriccrdt/internal/chaincode"
+	"fabriccrdt/internal/endorse"
+)
+
+// InstalledChaincode pairs a chaincode with the endorsement policy its
+// transactions must satisfy on this channel.
+type InstalledChaincode struct {
+	Chaincode chaincode.Chaincode
+	Policy    *endorse.Policy
+}
+
+// ccRegistry is a Runtime's channel-local chaincode registry. Installation
+// is per channel (as in Fabric, where chaincode is deployed to a channel):
+// an invoke or an endorsement check on a channel where the chaincode is not
+// installed fails, so a transaction endorsed against one channel's
+// chaincode can never validate on another channel just because the peer
+// happens to run both. Its own lock (not the commit mutex) keeps installs
+// safe against concurrent endorsement and commits.
+type ccRegistry struct {
+	mu         sync.RWMutex
+	chaincodes map[string]InstalledChaincode
+}
+
+// InstallChaincode installs a chaincode on this channel, replacing any
+// previous version under the same name.
+func (rt *Runtime) InstallChaincode(name string, cc chaincode.Chaincode, policy *endorse.Policy) {
+	rt.cc.mu.Lock()
+	defer rt.cc.mu.Unlock()
+	if rt.cc.chaincodes == nil {
+		rt.cc.chaincodes = make(map[string]InstalledChaincode)
+	}
+	rt.cc.chaincodes[name] = InstalledChaincode{Chaincode: cc, Policy: policy}
+}
+
+// Chaincode returns the chaincode installed on this channel under name.
+func (rt *Runtime) Chaincode(name string) (InstalledChaincode, bool) {
+	rt.cc.mu.RLock()
+	defer rt.cc.mu.RUnlock()
+	entry, ok := rt.cc.chaincodes[name]
+	return entry, ok
+}

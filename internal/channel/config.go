@@ -54,6 +54,16 @@ type CommitterConfig struct {
 	// (AdaptiveWorkers). Validation codes, world state and persisted CRDT
 	// documents are identical at every setting.
 	Workers int
+	// FinalizeWorkers bounds the parallelism INSIDE the serialized finalize
+	// stage: with a value > 1 the committer builds each block's transaction
+	// dependency schedule (internal/txgraph) and validates non-conflicting
+	// transactions concurrently — MVCC wavefronts and the CRDT merge run
+	// side by side over up to this many goroutines — while dedup and the
+	// final batch/append stay ordered (DESIGN.md §9). 1 = the legacy fully
+	// serial finalize. 0 = inherit the resolved Workers. Validation codes,
+	// world state, persisted CRDT documents and block hashes are identical
+	// at every setting.
+	FinalizeWorkers int
 	// Pipeline is the async commit pipeline depth per (peer, channel)
 	// deliver loop: how many delivered blocks may sit decoded and
 	// endorsement-validated ahead of the serialized finalize stage

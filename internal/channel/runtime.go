@@ -84,6 +84,10 @@ type Runtime struct {
 	validator *mvcc.Validator
 	engine    *core.Engine
 
+	// cc is the channel-local chaincode registry (chaincode.go):
+	// installation is per channel, so cross-channel invokes are rejected.
+	cc ccRegistry
+
 	mu           sync.Mutex
 	committedIDs map[string]struct{}
 }

@@ -254,6 +254,22 @@ func (n *Network) InstallChaincode(name string, cc chaincode.Chaincode, policyEx
 	return nil
 }
 
+// InstallChaincodeOn installs a chaincode on ONE channel of every peer:
+// proposals and commits naming it on any other channel are rejected
+// (ErrUnknownChaincode at endorsement, CodeEndorsementFailure at commit).
+func (n *Network) InstallChaincodeOn(channelID, name string, cc chaincode.Chaincode, policyExpr string) error {
+	policy, err := endorse.Parse(policyExpr)
+	if err != nil {
+		return fmt.Errorf("fabricnet: installing %q: %w", name, err)
+	}
+	for _, p := range n.peers {
+		if err := p.InstallChaincodeOn(channelID, name, cc, policy); err != nil {
+			return fmt.Errorf("fabricnet: installing %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
 // Start subscribes every peer to every channel's ordering service and
 // launches one committer pipeline per (peer, channel) pair — channels
 // deliver and commit independently, so a slow channel never stalls the

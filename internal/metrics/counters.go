@@ -1,0 +1,51 @@
+package metrics
+
+import "sync"
+
+// Counters is a small set of named monotonic counters (the commit
+// scheduler's group counts and conflict tallies). Safe for concurrent use;
+// counters report in first-observed order.
+type Counters struct {
+	mu    sync.Mutex
+	order []string
+	vals  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]int64)}
+}
+
+// Add increments a counter by delta, creating it at zero first.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.vals[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.vals[name] += delta
+}
+
+// Counter is one named counter's value.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns every counter in first-observed order.
+func (c *Counters) Snapshot() []Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Counter, 0, len(c.order))
+	for _, name := range c.order {
+		out = append(out, Counter{Name: name, Value: c.vals[name]})
+	}
+	return out
+}
+
+// Get returns one counter's value (zero when never added).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.vals[name]
+}

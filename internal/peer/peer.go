@@ -131,12 +131,6 @@ var (
 	ErrUnknownChannel   = errors.New("peer: channel not joined")
 )
 
-// installedCC pairs a chaincode with its endorsement policy.
-type installedCC struct {
-	cc     chaincode.Chaincode
-	policy *endorse.Policy
-}
-
 // Peer is one peer node. Endorsement (Endorse) may run concurrently with
 // commits; commits are serialized per channel by each channel runtime's
 // commit mutex, mirroring Fabric's single commit pipeline per channel —
@@ -152,15 +146,15 @@ type Peer struct {
 	channelIDs []string
 	channels   map[string]*channel.Runtime
 
-	ccMu       sync.RWMutex
-	chaincodes map[string]installedCC
-
 	// timings aggregates commit-stage latencies across all channels (the
 	// accumulator is concurrency-safe; channels commit in parallel).
 	timings *metrics.StageTimings
+	// sched aggregates the dependency scheduler's conflict-structure
+	// counters across all channels (pipeline.go).
+	sched *metrics.Counters
 
 	eventMu   sync.RWMutex
-	listeners []chan CommitEvent
+	listeners []*eventSub
 }
 
 // New creates a peer with its own world state and chain per joined
@@ -197,14 +191,22 @@ func New(cfg Config, signer *cryptoid.Signer, msp *cryptoid.MSP) (*Peer, error) 
 	if cfg.EngineOptions.Workers == 0 {
 		cfg.EngineOptions.Workers = cfg.Committer.Workers
 	}
+	// The finalize stage's internal parallelism follows the per-channel
+	// worker pool unless pinned; 1 keeps the legacy fully serial finalize.
+	if cfg.Committer.FinalizeWorkers == 0 {
+		cfg.Committer.FinalizeWorkers = cfg.Committer.Workers
+	}
+	if cfg.Committer.FinalizeWorkers < 1 {
+		cfg.Committer.FinalizeWorkers = 1
+	}
 	p := &Peer{
 		cfg:        cfg,
 		signer:     signer,
 		msp:        msp,
 		channelIDs: append([]string(nil), ids...),
 		channels:   make(map[string]*channel.Runtime, len(ids)),
-		chaincodes: make(map[string]installedCC),
 		timings:    metrics.NewStageTimings(),
+		sched:      metrics.NewCounters(),
 	}
 	for _, id := range ids {
 		rt, err := channel.NewRuntime(id, cfg.Committer, cfg.EngineOptions)
@@ -267,6 +269,13 @@ func (p *Peer) DefaultChannel() string { return p.channelIDs[0] }
 // the configured CommitterConfig.Workers, or the adaptive derivation
 // (NumCPU spread across channels) when it was left zero.
 func (p *Peer) Workers() int { return p.cfg.Committer.Workers }
+
+// FinalizeWorkers returns the resolved parallelism of the serialized
+// finalize stage: the configured CommitterConfig.FinalizeWorkers, or the
+// resolved Workers when it was left zero. 1 means the legacy serial
+// finalize; above 1 the committer dependency-schedules each block
+// (DESIGN.md §9).
+func (p *Peer) FinalizeWorkers() int { return p.cfg.Committer.FinalizeWorkers }
 
 // DB exposes the default channel's world state (read-side: examples,
 // experiments).
@@ -334,22 +343,37 @@ func (p *Peer) Genesis() *ledger.Block {
 	return g
 }
 
-// InstallChaincode installs a chaincode with its endorsement policy. Like
-// the network assembly, installation is peer-wide: the chaincode is
-// invocable on every channel the peer joined.
+// InstallChaincode installs a chaincode with its endorsement policy on
+// EVERY channel the peer joined — the install-everywhere convenience the
+// network assembly uses. Installation itself is per channel (each channel
+// runtime keeps its own registry, as Fabric deploys chaincode to channels);
+// use InstallChaincodeOn to install on a single channel, leaving invokes on
+// the others rejected.
 func (p *Peer) InstallChaincode(name string, cc chaincode.Chaincode, policy *endorse.Policy) {
-	p.ccMu.Lock()
-	defer p.ccMu.Unlock()
-	p.chaincodes[name] = installedCC{cc: cc, policy: policy}
+	for _, id := range p.channelIDs {
+		p.channels[id].InstallChaincode(name, cc, policy)
+	}
 }
 
-// lookupChaincode returns the installed chaincode entry.
-func (p *Peer) lookupChaincode(name string) (installedCC, error) {
-	p.ccMu.RLock()
-	defer p.ccMu.RUnlock()
-	entry, ok := p.chaincodes[name]
+// InstallChaincodeOn installs a chaincode on one channel only. Proposals
+// and committed transactions naming this chaincode on any other channel
+// fail (ErrUnknownChaincode at endorsement, CodeEndorsementFailure at
+// commit) — a transaction endorsed against one channel's chaincode cannot
+// cross into another.
+func (p *Peer) InstallChaincodeOn(channelID, name string, cc chaincode.Chaincode, policy *endorse.Policy) error {
+	rt, err := p.runtime(channelID)
+	if err != nil {
+		return err
+	}
+	rt.InstallChaincode(name, cc, policy)
+	return nil
+}
+
+// lookupChaincode returns the chaincode installed on one channel.
+func (p *Peer) lookupChaincode(rt *channel.Runtime, name string) (channel.InstalledChaincode, error) {
+	entry, ok := rt.Chaincode(name)
 	if !ok {
-		return installedCC{}, fmt.Errorf("%w: %q on peer %s", ErrUnknownChaincode, name, p.cfg.Name)
+		return channel.InstalledChaincode{}, fmt.Errorf("%w: %q on peer %s channel %s", ErrUnknownChaincode, name, p.cfg.Name, rt.ID())
 	}
 	return entry, nil
 }
@@ -376,12 +400,12 @@ func (p *Peer) Endorse(prop Proposal) (ProposalResponse, error) {
 	if err := p.msp.VerifyIdentity(creator); err != nil {
 		return ProposalResponse{}, fmt.Errorf("%w: %v", ErrBadCreator, err)
 	}
-	entry, err := p.lookupChaincode(prop.Chaincode)
+	entry, err := p.lookupChaincode(rt, prop.Chaincode)
 	if err != nil {
 		return ProposalResponse{}, err
 	}
 	stub := chaincode.NewSimStub(prop.TxID, prop.Args, rt.DB())
-	if err := entry.cc.Invoke(stub); err != nil {
+	if err := entry.Chaincode.Invoke(stub); err != nil {
 		return ProposalResponse{}, fmt.Errorf("%w: %v", ErrChaincodeFailed, err)
 	}
 	rw := stub.Result()
@@ -421,25 +445,91 @@ func endorsementPayload(prop Proposal, rw rwset.ReadWriteSet) ([]byte, error) {
 	return tx.EndorsementPayload()
 }
 
+// eventSub is one listener's commit-event feed: an unbounded handoff queue
+// drained into the listener's channel by a dedicated forwarder goroutine
+// (the same shape as the orderer's deliver subscriptions). The committer's
+// push only appends under the subscription's own lock — it never blocks on
+// the listener — so a slow (or absent) consumer can never stall the commit
+// path; its backlog just accumulates in the queue.
+type eventSub struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []CommitEvent
+	closed bool
+	out    chan CommitEvent
+}
+
+func newEventSub() *eventSub {
+	s := &eventSub{out: make(chan CommitEvent, 64)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// push enqueues one event; never blocks.
+func (s *eventSub) push(ev CommitEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.queue = append(s.queue, ev)
+	s.cond.Signal()
+}
+
+// close stops the feed; the forwarder drains what is queued, then closes
+// the listener's channel.
+func (s *eventSub) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cond.Signal()
+}
+
+// forward drains the queue into the out channel until closed and empty.
+func (s *eventSub) forward() {
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		batch := s.queue
+		s.queue = nil
+		closed := s.closed
+		s.mu.Unlock()
+		for _, ev := range batch {
+			s.out <- ev
+		}
+		if closed {
+			close(s.out)
+			return
+		}
+	}
+}
+
 // Events returns a channel receiving one CommitEvent per transaction in
 // every block this peer commits — on any of its channels — from the time
 // of the call. Listeners interested in a single channel filter on
-// CommitEvent.ChannelID.
+// CommitEvent.ChannelID. Delivery is off the commit path: events are
+// handed to a per-listener forwarder through an unbounded queue, so a
+// listener that stops reading delays only itself, never a commit
+// (DESIGN.md §9).
 func (p *Peer) Events() <-chan CommitEvent {
 	p.eventMu.Lock()
 	defer p.eventMu.Unlock()
-	ch := make(chan CommitEvent, 1024)
-	p.listeners = append(p.listeners, ch)
-	return ch
+	s := newEventSub()
+	p.listeners = append(p.listeners, s)
+	go s.forward()
+	return s.out
 }
 
-// CloseEvents closes all event listener channels; call once no more blocks
-// will be committed.
+// CloseEvents stops all event feeds; call once no more blocks will be
+// committed. Each listener's channel closes after its queued events have
+// been delivered.
 func (p *Peer) CloseEvents() {
 	p.eventMu.Lock()
 	defer p.eventMu.Unlock()
-	for _, ch := range p.listeners {
-		close(ch)
+	for _, s := range p.listeners {
+		s.close()
 	}
 	p.listeners = nil
 }
@@ -447,16 +537,19 @@ func (p *Peer) CloseEvents() {
 func (p *Peer) emit(ev CommitEvent) {
 	p.eventMu.RLock()
 	defer p.eventMu.RUnlock()
-	for _, ch := range p.listeners {
-		ch <- ev
+	for _, s := range p.listeners {
+		s.push(ev)
 	}
 }
 
 // validateEndorsements checks the signatures and endorsement policy of one
-// transaction, returning CodeNotValidated when it passes (the decision then
-// falls to the merge engine or MVCC validation).
-func (p *Peer) validateEndorsements(tx *ledger.Transaction) ledger.ValidationCode {
-	entry, err := p.lookupChaincode(tx.Chaincode)
+// transaction against one channel's chaincode registry, returning
+// CodeNotValidated when it passes (the decision then falls to the merge
+// engine or MVCC validation). A chaincode not installed on the committing
+// channel — even if installed on another channel of this peer — is an
+// endorsement failure: invokes do not cross channels.
+func (p *Peer) validateEndorsements(rt *channel.Runtime, tx *ledger.Transaction) ledger.ValidationCode {
+	entry, err := p.lookupChaincode(rt, tx.Chaincode)
 	if err != nil {
 		return ledger.CodeEndorsementFailure
 	}
@@ -475,7 +568,7 @@ func (p *Peer) validateEndorsements(tx *ledger.Transaction) ledger.ValidationCod
 		}
 		orgs = append(orgs, id.MSPID)
 	}
-	if !entry.policy.Satisfied(orgs) {
+	if !entry.Policy.Satisfied(orgs) {
 		return ledger.CodeEndorsementFailure
 	}
 	return ledger.CodeNotValidated

@@ -12,6 +12,7 @@ import (
 	"fabriccrdt/internal/parallel"
 	"fabriccrdt/internal/rwset"
 	"fabriccrdt/internal/statedb"
+	"fabriccrdt/internal/txgraph"
 )
 
 // State backend names for CommitterConfig.Backend (aliases of the channel
@@ -56,21 +57,110 @@ type CommitterConfig = channel.CommitterConfig
 // overlap pseudo-stage is recorded only by the async delivery pipeline
 // (CommitPipeline): it measures how much of a block's prepare work ran
 // hidden behind the previous block's finalize.
+//
+// Each work stage reports its own wall clock. Under pipelining (depth > 1)
+// and parallel finalize (FinalizeWorkers > 1) the stages overlap — prepare
+// of block N+1 runs behind finalize of N, and merge runs beside mvcc — so
+// summing stage totals OVERSTATES elapsed time (it approximates CPU time
+// instead). The prepare and finalize wrapper stages measure the two
+// pipeline halves' true wall clock, and CommitAggregate reports both views
+// without double counting.
 const (
-	StageDecode  = "decode"  // serialize + re-parse the delivered block
-	StageDedup   = "dedup"   // duplicate transaction-ID screening
-	StageEndorse = "endorse" // signature + endorsement-policy checks (parallel)
-	StageMerge   = "merge"   // CRDT merge engine (parallel per key-group)
-	StageMVCC    = "mvcc"    // stock MVCC validation (serial)
-	StageApply   = "apply"   // batched world-state apply
-	StageAppend  = "append"  // ledger append + commit events
-	StageOverlap = "overlap" // prepare time hidden behind the previous finalize
+	StageDecode   = "decode"    // serialize + re-parse the delivered block
+	StageDedup    = "dedup"     // duplicate transaction-ID screening
+	StageEndorse  = "endorse"   // signature + endorsement-policy checks (parallel)
+	StageSchedule = "schedule"  // dependency-graph + wavefront construction (FinalizeWorkers > 1)
+	StageMerge    = "merge"     // CRDT merge engine (parallel per key-group)
+	StageMVCC     = "mvcc"      // MVCC validation (wavefront-parallel when scheduled)
+	StageMVCCWave = "mvcc_wave" // one MVCC wavefront (contained in mvcc; per-wave latencies)
+	StageApply    = "apply"     // batched world-state apply
+	StageAppend   = "append"    // ledger append + commit events
+	StagePrepare  = "prepare"   // wall clock of the whole stateless prepare half
+	StageFinalize = "finalize"  // wall clock of the whole serialized finalize half
+	StageOverlap  = "overlap"   // prepare time hidden behind the previous finalize
 )
 
 // CommitTimings returns per-stage latency aggregates over every block this
-// peer has committed — on all channels — in pipeline order.
+// peer has committed — on all channels — in pipeline order. Every entry is
+// wall clock of that stage alone; see CommitAggregate for totals that are
+// safe to add up.
 func (p *Peer) CommitTimings() []metrics.StageSummary {
 	return p.timings.Summaries()
+}
+
+// CommitAggregate is the double-counting-free rollup of CommitTimings.
+type CommitAggregate struct {
+	// Wall is the pipeline's true elapsed commit time: prepare + finalize
+	// wall clock, minus the prepare time the async pipeline hid behind an
+	// earlier block's finalize (the overlap pseudo-stage). Without it,
+	// summing stage totals counts overlapped prepare work twice.
+	Wall time.Duration
+	// CPU approximates total busy time: the sum of every work stage's own
+	// wall clock (decode, dedup, endorse, schedule, merge, mvcc, apply,
+	// append). With internal concurrency — merge beside mvcc, parallel
+	// wavefronts — CPU exceeds Wall; the ratio is the pipeline's effective
+	// parallelism.
+	CPU time.Duration
+}
+
+// aggregateCPUStages are the non-overlapping work stages whose totals sum
+// to the CPU aggregate. The wrapper stages (prepare, finalize), the overlap
+// pseudo-stage and the per-wave sub-timings (contained in mvcc) are
+// excluded — each would double-count work another stage already reports.
+var aggregateCPUStages = map[string]bool{
+	StageDecode: true, StageDedup: true, StageEndorse: true,
+	StageSchedule: true, StageMerge: true, StageMVCC: true,
+	StageApply: true, StageAppend: true,
+}
+
+// CommitAggregate rolls CommitTimings up into wall-clock and CPU-time
+// totals that are safe to compare: Wall is what a wall clock saw, CPU is
+// what the stages worked.
+func (p *Peer) CommitAggregate() CommitAggregate {
+	var agg CommitAggregate
+	for _, s := range p.timings.Summaries() {
+		switch {
+		case s.Stage == StagePrepare || s.Stage == StageFinalize:
+			agg.Wall += s.Total
+		case s.Stage == StageOverlap:
+			agg.Wall -= s.Total
+		case aggregateCPUStages[s.Stage]:
+			agg.CPU += s.Total
+		}
+	}
+	if agg.Wall < 0 {
+		agg.Wall = 0
+	}
+	return agg
+}
+
+// Scheduler counter names, as reported by SchedulerCounters. One sample of
+// each per block that went through the dependency scheduler
+// (FinalizeWorkers > 1).
+const (
+	// CounterSchedBlocks counts dependency-scheduled blocks.
+	CounterSchedBlocks = "sched_blocks"
+	// CounterSchedTxs counts transactions entering the scheduler (still
+	// undecided after dedup).
+	CounterSchedTxs = "sched_txs"
+	// CounterSchedGroups counts independent conflict groups (connected
+	// components) across scheduled blocks.
+	CounterSchedGroups = "sched_groups"
+	// CounterSchedConflicted counts scheduled transactions that conflicted
+	// with at least one other; divided by CounterSchedTxs it is the
+	// observed conflict rate.
+	CounterSchedConflicted = "sched_conflicted_txs"
+	// CounterSchedEdges counts dependency edges.
+	CounterSchedEdges = "sched_edges"
+	// CounterSchedWaves counts MVCC wavefronts executed.
+	CounterSchedWaves = "sched_mvcc_waves"
+)
+
+// SchedulerCounters returns the dependency scheduler's cumulative conflict
+// structure counters — group counts, conflict tallies, wavefront counts —
+// across every scheduled block on all channels, in first-observed order.
+func (p *Peer) SchedulerCounters() []metrics.Counter {
+	return p.sched.Snapshot()
 }
 
 // CommitBlock runs the commit pipeline on the peer's default channel — the
@@ -172,15 +262,17 @@ func (p *Peer) PrepareBlockOn(channelID string, block *ledger.Block) (*PreparedB
 			// without the dedup set — still cost a wasted verification.
 			markWrongChannel(rt.ID(), view, endorseCodes)
 			markInBlockDuplicates(view, endorseCodes)
-			p.validateEndorsementsStage(view, endorseCodes)
+			p.validateEndorsementsStage(rt, view, endorseCodes)
 		})
 	}
+	prepDur := time.Since(start)
+	p.timings.Observe(StagePrepare, prepDur)
 	return &PreparedBlock{
 		rt:           rt,
 		stored:       stored,
 		view:         view,
 		endorseCodes: endorseCodes,
-		prepDur:      time.Since(start),
+		prepDur:      prepDur,
 	}, nil
 }
 
@@ -220,6 +312,7 @@ func (p *Peer) FinalizeBlockOn(prep *PreparedBlock) (CommitResult, error) {
 		return CommitResult{}, fmt.Errorf("peer %s: committing block %d on %s: %w", p.cfg.Name, view.Header.Number, rt.ID(), err)
 	}
 
+	finStart := time.Now()
 	codes := make([]ledger.ValidationCode, len(view.Transactions))
 	p.timings.Time(StageDedup, func() {
 		markWrongChannel(rt.ID(), view, codes)
@@ -233,21 +326,19 @@ func (p *Peer) FinalizeBlockOn(prep *PreparedBlock) (CommitResult, error) {
 		}
 	})
 
-	// FabricCRDT merge path (Algorithm 1) for CRDT transactions.
+	// Validation: the CRDT merge path (Algorithm 1) and MVCC decide the
+	// block's remaining transactions — serially in delivery order, or
+	// dependency-scheduled over the finalize worker pool (DESIGN.md §9).
+	// Both orderings produce byte-identical codes, write sets and documents.
 	var mergeRes core.Result
-	if p.cfg.EnableCRDT {
-		p.timings.Time(StageMerge, func() {
-			mergeRes, err = rt.Engine().MergeBlock(view, codes)
-		})
-		if err != nil {
-			return CommitResult{}, fmt.Errorf("peer %s: merging block %d on %s: %w", p.cfg.Name, view.Header.Number, rt.ID(), err)
-		}
+	if p.cfg.Committer.FinalizeWorkers > 1 {
+		mergeRes, err = p.validateScheduled(rt, view, codes)
+	} else {
+		mergeRes, err = p.validateSerial(rt, view, codes)
 	}
-
-	// Stock MVCC validation for everything still undecided.
-	p.timings.Time(StageMVCC, func() {
-		rt.Validator().ValidateBlock(view.Header.Number, view.Transactions, codes)
-	})
+	if err != nil {
+		return CommitResult{}, fmt.Errorf("peer %s: merging block %d on %s: %w", p.cfg.Name, view.Header.Number, rt.ID(), err)
+	}
 
 	// Atomic commit: the pristine block body (now carrying its validation
 	// codes) goes to the durable block store FIRST, then the state writes +
@@ -289,6 +380,7 @@ func (p *Peer) FinalizeBlockOn(prep *PreparedBlock) (CommitResult, error) {
 	if err != nil {
 		return CommitResult{}, fmt.Errorf("peer %s: appending block %d on %s: %w", p.cfg.Name, view.Header.Number, rt.ID(), err)
 	}
+	p.timings.Observe(StageFinalize, time.Since(finStart))
 	return CommitResult{
 		ChannelID:   rt.ID(),
 		BlockNum:    view.Header.Number,
@@ -296,6 +388,79 @@ func (p *Peer) FinalizeBlockOn(prep *PreparedBlock) (CommitResult, error) {
 		MergedKeys:  mergeRes.MergedKeys,
 		CommittedTx: committed,
 	}, nil
+}
+
+// validateSerial is the legacy finalize validation (FinalizeWorkers == 1):
+// the CRDT merge decides every candidate first, then MVCC walks the rest in
+// delivery order — the committer's definition of correctness, which the
+// scheduled path must match byte for byte.
+func (p *Peer) validateSerial(rt *channel.Runtime, view *ledger.Block, codes []ledger.ValidationCode) (core.Result, error) {
+	var mergeRes core.Result
+	var err error
+	if p.cfg.EnableCRDT {
+		p.timings.Time(StageMerge, func() {
+			mergeRes, err = rt.Engine().MergeBlock(view, codes)
+		})
+		if err != nil {
+			return core.Result{}, err
+		}
+	}
+	p.timings.Time(StageMVCC, func() {
+		rt.Validator().ValidateBlock(view.Header.Number, view.Transactions, codes)
+	})
+	return mergeRes, nil
+}
+
+// validateScheduled is the dependency-scheduled finalize validation
+// (FinalizeWorkers > 1). The txgraph plan splits the undecided transactions
+// into the merge-path candidates and the MVCC wavefronts; the two families
+// are independent by construction — in the serial path the merge decides
+// every candidate BEFORE ValidateBlock runs, so no candidate's write ever
+// enters MVCC's pending-version accounting — which lets the merge engine
+// and the wavefront validator run concurrently over disjoint codes slots
+// and disjoint transaction footprints. Within every chain, block-delivery
+// order is preserved (per-key merge order in the engine, wave order in the
+// validator), so codes, rewritten write sets and document bytes are
+// byte-identical to validateSerial at any worker count (DESIGN.md §9).
+func (p *Peer) validateScheduled(rt *channel.Runtime, view *ledger.Block, codes []ledger.ValidationCode) (core.Result, error) {
+	workers := p.cfg.Committer.FinalizeWorkers
+	var plan *txgraph.Plan
+	p.timings.Time(StageSchedule, func() {
+		plan = txgraph.Build(view.Transactions, codes, p.cfg.EnableCRDT)
+	})
+	st := plan.Stats
+	p.sched.Add(CounterSchedBlocks, 1)
+	p.sched.Add(CounterSchedTxs, int64(st.Scheduled))
+	p.sched.Add(CounterSchedGroups, int64(st.Groups))
+	p.sched.Add(CounterSchedConflicted, int64(st.Conflicted))
+	p.sched.Add(CounterSchedEdges, int64(st.Edges))
+	p.sched.Add(CounterSchedWaves, int64(st.Waves))
+
+	// The merge branch runs beside the MVCC branch: MergeCandidates touches
+	// codes only at candidate indices, the wavefront validator only at
+	// plain indices, and neither reads the other's slots.
+	var mergeRes core.Result
+	var mergeErr error
+	mergeDone := make(chan struct{})
+	if len(plan.CRDTTxs) > 0 {
+		go func() {
+			defer close(mergeDone)
+			p.timings.Time(StageMerge, func() {
+				mergeRes, mergeErr = rt.Engine().MergeCandidates(view, codes, plan.CRDTTxs, workers)
+			})
+		}()
+	} else {
+		close(mergeDone)
+	}
+	p.timings.Time(StageMVCC, func() {
+		rt.Validator().ValidateScheduled(view.Header.Number, view.Transactions, codes, plan.MVCCWaves, workers,
+			func(_ int, d time.Duration) { p.timings.Observe(StageMVCCWave, d) })
+	})
+	<-mergeDone
+	if mergeErr != nil {
+		return core.Result{}, mergeErr
+	}
+	return mergeRes, nil
 }
 
 // fastForward records an already-committed block (state height at or above
@@ -437,7 +602,7 @@ func markInBlockDuplicates(view *ledger.Block, codes []ledger.ValidationCode) {
 // (each check touches only codes[i]), so the stage fans out over a bounded
 // worker pool when CommitterConfig.Workers > 1 — the parallelization Fabric
 // itself applies to this, the most CPU-bound, stage.
-func (p *Peer) validateEndorsementsStage(view *ledger.Block, codes []ledger.ValidationCode) {
+func (p *Peer) validateEndorsementsStage(rt *channel.Runtime, view *ledger.Block, codes []ledger.ValidationCode) {
 	var pending []int
 	for i := range view.Transactions {
 		if codes[i] == ledger.CodeNotValidated {
@@ -446,6 +611,6 @@ func (p *Peer) validateEndorsementsStage(view *ledger.Block, codes []ledger.Vali
 	}
 	parallel.ForEach(p.cfg.Committer.Workers, pending, func(i int) {
 		// Distinct items write distinct codes[i]: race-free.
-		codes[i] = p.validateEndorsements(view.Transactions[i])
+		codes[i] = p.validateEndorsements(rt, view.Transactions[i])
 	})
 }

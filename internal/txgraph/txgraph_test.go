@@ -1,0 +1,232 @@
+package txgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/rwset"
+)
+
+// tx builds a transaction reading and writing the given keys.
+func tx(reads, writes []string) *ledger.Transaction {
+	var rw rwset.ReadWriteSet
+	for _, k := range reads {
+		rw.Reads = append(rw.Reads, rwset.Read{Key: k})
+	}
+	for _, k := range writes {
+		rw.Writes = append(rw.Writes, rwset.Write{Key: k, Value: []byte("v")})
+	}
+	return &ledger.Transaction{RWSet: rw}
+}
+
+// crdtTx builds a transaction with CRDT-flagged writes to the given keys.
+func crdtTx(keys ...string) *ledger.Transaction {
+	var rw rwset.ReadWriteSet
+	for _, k := range keys {
+		rw.Writes = append(rw.Writes, rwset.Write{Key: k, Value: []byte("{}"), IsCRDT: true})
+	}
+	return &ledger.Transaction{RWSet: rw}
+}
+
+func TestAllIndependentIsOneWave(t *testing.T) {
+	var txs []*ledger.Transaction
+	for i := 0; i < 8; i++ {
+		k := fmt.Sprintf("k%d", i)
+		txs = append(txs, tx([]string{k}, []string{k}))
+	}
+	plan := Build(txs, nil, true)
+	if len(plan.MVCCWaves) != 1 {
+		t.Fatalf("waves = %v, want one wave", plan.MVCCWaves)
+	}
+	if got := plan.MVCCWaves[0]; !reflect.DeepEqual(got, []int{0, 1, 2, 3, 4, 5, 6, 7}) {
+		t.Fatalf("wave 0 = %v", got)
+	}
+	st := plan.Stats
+	if st.Groups != 8 || st.Conflicted != 0 || st.Edges != 0 || st.LongestChain != 1 {
+		t.Fatalf("stats = %+v, want 8 singleton groups", st)
+	}
+	if st.ConflictRate() != 0 {
+		t.Fatalf("conflict rate = %v, want 0", st.ConflictRate())
+	}
+}
+
+func TestAllConflictingDegeneratesToSerial(t *testing.T) {
+	var txs []*ledger.Transaction
+	for i := 0; i < 6; i++ {
+		txs = append(txs, tx([]string{"hot"}, []string{"hot"}))
+	}
+	plan := Build(txs, nil, true)
+	if len(plan.MVCCWaves) != 6 {
+		t.Fatalf("waves = %v, want one tx per wave", plan.MVCCWaves)
+	}
+	for i, wave := range plan.MVCCWaves {
+		if !reflect.DeepEqual(wave, []int{i}) {
+			t.Fatalf("wave %d = %v, want [%d]", i, wave, i)
+		}
+	}
+	st := plan.Stats
+	if st.Groups != 1 || st.Conflicted != 6 || st.LongestChain != 6 {
+		t.Fatalf("stats = %+v, want one 6-deep chain", st)
+	}
+	if st.ConflictRate() != 1 {
+		t.Fatalf("conflict rate = %v, want 1", st.ConflictRate())
+	}
+}
+
+func TestReadOnlyTransactionsAreIndependent(t *testing.T) {
+	// Three readers of one key with no writer: read-read sharing is not a
+	// conflict.
+	txs := []*ledger.Transaction{
+		tx([]string{"shared"}, nil),
+		tx([]string{"shared"}, nil),
+		tx([]string{"shared"}, nil),
+	}
+	plan := Build(txs, nil, true)
+	if len(plan.MVCCWaves) != 1 || len(plan.MVCCWaves[0]) != 3 {
+		t.Fatalf("waves = %v, want all three in one wave", plan.MVCCWaves)
+	}
+	if plan.Stats.Conflicted != 0 {
+		t.Fatalf("stats = %+v, want no conflicts", plan.Stats)
+	}
+}
+
+func TestReadersOrderAroundWriter(t *testing.T) {
+	// writer(0) → reader(1), reader(2) → writer(3): the readers depend on
+	// the first writer (write-read) and the second writer depends on the
+	// readers (read-write), giving three waves.
+	txs := []*ledger.Transaction{
+		tx(nil, []string{"k"}),
+		tx([]string{"k"}, nil),
+		tx([]string{"k"}, nil),
+		tx(nil, []string{"k"}),
+	}
+	plan := Build(txs, nil, true)
+	want := [][]int{{0}, {1, 2}, {3}}
+	if !reflect.DeepEqual(plan.MVCCWaves, want) {
+		t.Fatalf("waves = %v, want %v", plan.MVCCWaves, want)
+	}
+}
+
+func TestDecidedTransactionsExcluded(t *testing.T) {
+	txs := []*ledger.Transaction{
+		tx(nil, []string{"k"}),
+		tx(nil, []string{"k"}), // pre-decided: not scheduled
+		tx(nil, []string{"k"}),
+	}
+	codes := []ledger.ValidationCode{0, ledger.CodeDuplicate, 0}
+	plan := Build(txs, codes, true)
+	want := [][]int{{0}, {2}}
+	if !reflect.DeepEqual(plan.MVCCWaves, want) {
+		t.Fatalf("waves = %v, want %v", plan.MVCCWaves, want)
+	}
+	if plan.Stats.Scheduled != 2 {
+		t.Fatalf("scheduled = %d, want 2", plan.Stats.Scheduled)
+	}
+}
+
+func TestCRDTCandidatesLeaveTheMVCCSchedule(t *testing.T) {
+	txs := []*ledger.Transaction{
+		crdtTx("doc"),                    // merge path
+		crdtTx("doc"),                    // merge path: same document chain
+		tx([]string{"k"}, []string{"k"}), // MVCC path
+	}
+	plan := Build(txs, nil, true)
+	if !reflect.DeepEqual(plan.CRDTTxs, []int{0, 1}) {
+		t.Fatalf("CRDT candidates = %v, want [0 1]", plan.CRDTTxs)
+	}
+	if !reflect.DeepEqual(plan.MVCCWaves, [][]int{{2}}) {
+		t.Fatalf("waves = %v, want [[2]]", plan.MVCCWaves)
+	}
+	// The unified stats still see the document chain as one conflicted
+	// group.
+	st := plan.Stats
+	if st.Groups != 2 || st.Conflicted != 2 || st.LongestChain != 2 {
+		t.Fatalf("stats = %+v, want the doc chain + the plain singleton", st)
+	}
+
+	// With CRDT disabled the same block schedules everything through MVCC.
+	plan = Build(txs, nil, false)
+	if len(plan.CRDTTxs) != 0 {
+		t.Fatalf("CRDT candidates = %v, want none with CRDT disabled", plan.CRDTTxs)
+	}
+	if !reflect.DeepEqual(plan.MVCCWaves, [][]int{{0, 2}, {1}}) {
+		t.Fatalf("waves = %v", plan.MVCCWaves)
+	}
+}
+
+// TestWavesRespectEveryDependency cross-checks randomized graphs: every
+// conflicting pair must land in distinct waves with the earlier transaction
+// first, and every wave must be internally conflict-free.
+func TestWavesRespectEveryDependency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 50; round++ {
+		var txs []*ledger.Transaction
+		n := 2 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			var reads, writes []string
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				key := fmt.Sprintf("k%d", rng.Intn(8))
+				if rng.Intn(2) == 0 {
+					reads = append(reads, key)
+				} else {
+					writes = append(writes, key)
+				}
+			}
+			txs = append(txs, tx(reads, writes))
+		}
+		plan := Build(txs, nil, true)
+		waveOf := make(map[int]int)
+		scheduled := 0
+		for w, wave := range plan.MVCCWaves {
+			for _, i := range wave {
+				waveOf[i] = w
+				scheduled++
+			}
+		}
+		if scheduled != n {
+			t.Fatalf("round %d: scheduled %d of %d txs", round, scheduled, n)
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i < j; i++ {
+				if conflictPair(txs[i], txs[j]) && waveOf[i] >= waveOf[j] {
+					t.Fatalf("round %d: tx %d (wave %d) conflicts with earlier tx %d (wave %d)",
+						round, j, waveOf[j], i, waveOf[i])
+				}
+			}
+		}
+	}
+}
+
+// conflictPair is the O(n²) reference definition of a conflict.
+func conflictPair(a, b *ledger.Transaction) bool {
+	writes := func(t *ledger.Transaction) map[string]bool {
+		m := make(map[string]bool)
+		for _, w := range t.RWSet.Writes {
+			m[w.Key] = true
+		}
+		return m
+	}
+	reads := func(t *ledger.Transaction) map[string]bool {
+		m := make(map[string]bool)
+		for _, r := range t.RWSet.Reads {
+			m[r.Key] = true
+		}
+		return m
+	}
+	aw, bw := writes(a), writes(b)
+	ar, br := reads(a), reads(b)
+	for k := range aw {
+		if bw[k] || br[k] {
+			return true
+		}
+	}
+	for k := range ar {
+		if bw[k] {
+			return true
+		}
+	}
+	return false
+}
