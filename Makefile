@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke demo-persist
+.PHONY: ci fmt vet build test race bench bench-smoke demo-persist test-wire smoke-multiproc
 
 ci: fmt vet build race
 
@@ -23,6 +23,23 @@ test: vet
 
 race: vet
 	$(GO) test -race ./...
+
+# Wire-transport gate: the transport conformance suite against BOTH
+# implementations (in-process Node and TCP wire client/server) under
+# -race, Chaos fault modes included; the network-level wire + Err-split
+# regressions; and the multi-process tests (real orderer/peer/client
+# processes over loopback sockets, kill -9 recovery to byte-identical
+# state).
+test-wire: vet
+	$(GO) test -race ./internal/transport/... ./internal/wire/...
+	$(GO) test -race -run 'TestWire|TestDeliverLoopHealsSeveredStream|TestCommitErrorIsFatalNotRetried' ./internal/fabricnet
+	$(GO) test -run TestMultiProcess ./cmd/fabricnet
+
+# Just the multi-process smoke: spawn orderer + peer binaries, submit
+# transactions over real sockets, assert the committed height (CI runs
+# this as its own step so a wire regression is named in the job log).
+smoke-multiproc:
+	$(GO) test -run TestMultiProcessSmoke -v ./cmd/fabricnet
 
 BENCHES = 'BenchmarkCommitPipeline|BenchmarkCommitBackends|BenchmarkCommitChannels|BenchmarkCommitAsync|BenchmarkCommitFinalize'
 

@@ -61,6 +61,16 @@ func main() {
 		fsync       = flag.Bool("fsync", false, "fsync each peer's state log (and block log) after every committed block (-backend disk only): closes the power-loss window; the async pipeline hides the added latency")
 		persist     = flag.Bool("persist-blocks", true, "persist committed block bodies in each peer's durable block store (-backend disk only): restarted peers then serve their full history to lagging peers and can rebuild their world state from block 0")
 		timings     = flag.Bool("timings", false, "print per-stage commit latencies per peer")
+
+		// Multi-process roles (see roles.go): split the network into
+		// separate OS processes over the wire transport.
+		role         = flag.String("role", "", "multi-process role: orderer, peer or client (empty = in-process benchmark)")
+		listen       = flag.String("listen", "", "wire listen address for -role orderer/peer (e.g. 127.0.0.1:7050, port 0 picks one)")
+		connect      = flag.String("connect", "", "wire address to connect to: the orderer for -role peer, comma-separated peers for -role client")
+		nodeName     = flag.String("name", "", "node name for -role peer (default <org>.peer0) or client")
+		org          = flag.String("org", "Org1", "organization for -role peer/client (Org1, Org2 or Org3)")
+		caSeed       = flag.String("ca-seed", "fabricnet-demo", "shared deterministic CA seed: every process started with the same seed derives the same organization roots")
+		batchTimeout = flag.Duration("batch-timeout", 2*time.Second, "orderer batch timeout (paper: 2s)")
 	)
 	flag.Parse()
 	persistSet := false
@@ -118,9 +128,42 @@ func main() {
 		Seed:        42,
 	})
 
+	// A -role flag switches from the in-process benchmark to one node of a
+	// multi-process deployment over the wire transport (roles.go).
+	if *role != "" {
+		err := runRole(roleOpts{
+			role:         *role,
+			listen:       *listen,
+			connect:      *connect,
+			name:         *nodeName,
+			org:          *org,
+			caSeed:       *caSeed,
+			channels:     channels,
+			blockSize:    *blockSize,
+			batchTimeout: *batchTimeout,
+			enableCRDT:   *enableCRDT,
+			txs:          *totalTx,
+			gen:          gen,
+			committer: fabriccrdt.CommitterConfig{
+				Workers:         *workers,
+				FinalizeWorkers: *finalizeW,
+				Pipeline:        *pipeline,
+				StateShards:     *shards,
+				Backend:         *backend,
+				DataDir:         *datadir,
+				PersistBlocks:   persistBlocks,
+				SyncEveryApply:  *fsync,
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	cfg := fabriccrdt.PaperTopology(*blockSize, *enableCRDT)
 	cfg.Channels = channels
-	cfg.Orderer.BatchTimeout = 2 * time.Second
+	cfg.Orderer.BatchTimeout = *batchTimeout
 	cfg.Committer = fabriccrdt.CommitterConfig{
 		Workers:         *workers,
 		FinalizeWorkers: *finalizeW,

@@ -142,6 +142,21 @@ func (c *Client) NewTxID() string {
 	return hex.EncodeToString(h[:16])
 }
 
+// Prepare runs the execution phase only: it endorses one invocation across
+// the client's endorsers and assembles the signed, submission-stamped
+// envelope WITHOUT broadcasting it. Callers hand the envelope to whatever
+// ordering path they use — the local orderer, or a gateway's Submit stream
+// (transport.Transport.Submit), which broadcasts and waits for the commit
+// event server-side.
+func (c *Client) Prepare(chaincodeName string, args ...[]byte) (*ledger.Transaction, error) {
+	tx, err := c.prepare(chaincodeName, args)
+	if err != nil {
+		return nil, err
+	}
+	tx.SubmitUnixNano = time.Now().UnixNano()
+	return tx, nil
+}
+
 // Submit runs execution + ordering for one invocation and returns the
 // transaction ID once the envelope is accepted for ordering. It does not
 // wait for commit.

@@ -8,6 +8,7 @@ package cryptoid
 import (
 	"crypto/ed25519"
 	"crypto/rand"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -82,6 +83,18 @@ func NewCA(mspID string) (*CA, error) {
 		return nil, fmt.Errorf("cryptoid: generating CA key: %w", err)
 	}
 	return &CA{mspID: mspID, pub: pub, priv: priv}, nil
+}
+
+// NewDeterministicCA derives the CA keypair from sha256(seed, mspID)
+// instead of fresh randomness, so SEPARATE OS PROCESSES sharing a seed
+// string derive identical organization roots — the multi-process demo's
+// substitute for distributing real cert files. Member keys issued by the
+// CA stay random; only the root is deterministic. Demo and test topologies
+// only: a production deployment distributes roots, never seeds.
+func NewDeterministicCA(mspID, seed string) *CA {
+	sum := sha256.Sum256([]byte("fabriccrdt/deterministic-ca\x00" + mspID + "\x00" + seed))
+	priv := ed25519.NewKeyFromSeed(sum[:])
+	return &CA{mspID: mspID, pub: priv.Public().(ed25519.PublicKey), priv: priv}
 }
 
 // MSPID returns the organization identifier the CA certifies for.

@@ -16,6 +16,17 @@
 // state already covers a delivered block (its channel height at or above
 // the block number — a disk-backed peer rebuilt over its data directory)
 // fast-forwards it inside CommitBlockOn instead of re-validating it.
+//
+// Since the wire-transport refactor, delivery flows through the
+// transport.Transport interface: each channel's orderer subscription feeds
+// one transport.History, the network's transport.Node serves Deliver and
+// Broadcast from those histories and services, and every (peer, channel)
+// pair runs transport.DeliverToPeer against it — the SAME loop a remote
+// peer process runs against a wire client. Config.TransportWrap interposes
+// middleware (transport.Chaos in the fault-injection tests) between the
+// loop and the node. Transport failures the loop heals by reconnecting are
+// recorded separately (TransportRetries); only fatal errors — commit
+// failures, subscription failures, close failures — reach Err.
 package fabricnet
 
 import (
@@ -34,6 +45,7 @@ import (
 	"fabriccrdt/internal/ledger"
 	"fabriccrdt/internal/orderer"
 	"fabriccrdt/internal/peer"
+	"fabriccrdt/internal/transport"
 )
 
 // OrgConfig describes one organization.
@@ -67,6 +79,15 @@ type Config struct {
 	// network over the same root restores every peer's world state and
 	// per-channel resume heights.
 	Committer peer.CommitterConfig
+	// TransportWrap, when set, interposes middleware between each
+	// (peer, channel) deliver loop and the network's transport — the
+	// fault-injection tests wrap transport.Chaos here to sever, drop,
+	// duplicate and corrupt a live peer's block stream.
+	TransportWrap func(peerName, channelID string, tr transport.Transport) transport.Transport
+	// DeliverMaxRetries bounds each deliver loop's CONSECUTIVE healed
+	// reconnects before it gives up fatally; 0 retries until the channel
+	// shuts down cleanly.
+	DeliverMaxRetries int
 }
 
 // channelIDs resolves the configured channel list; a config naming no
@@ -98,18 +119,22 @@ func PaperConfig(maxBlockTxs int, enableCRDT bool) Config {
 
 // Network is a running in-process Fabric/FabricCRDT network.
 type Network struct {
-	cfg      Config
-	cas      map[string]*cryptoid.CA
-	msp      *cryptoid.MSP
-	peers    []*peer.Peer
-	channels *channel.Registry
+	cfg       Config
+	cas       map[string]*cryptoid.CA
+	msp       *cryptoid.MSP
+	peers     []*peer.Peer
+	channels  *channel.Registry
+	histories map[string]*transport.History
+	node      *transport.Node
 
 	mu      sync.Mutex
 	started bool
 	stopped bool
-	wg      sync.WaitGroup
+	feedWg  sync.WaitGroup // orderer-subscription → History feeders
+	wg      sync.WaitGroup // deliver loops
 	errMu   sync.Mutex
 	errs    []error
+	retries []error // transport failures healed by reconnecting
 }
 
 // New builds the network: CAs, peer identities, peers, and one ordering
@@ -123,10 +148,11 @@ func New(cfg Config) (*Network, error) {
 		return nil, errors.New("fabricnet: no organizations")
 	}
 	n := &Network{
-		cfg:      cfg,
-		cas:      make(map[string]*cryptoid.CA, len(cfg.Orgs)),
-		msp:      cryptoid.NewMSP(),
-		channels: registry,
+		cfg:       cfg,
+		cas:       make(map[string]*cryptoid.CA, len(cfg.Orgs)),
+		msp:       cryptoid.NewMSP(),
+		channels:  registry,
+		histories: make(map[string]*transport.History),
 	}
 	for _, org := range cfg.Orgs {
 		ca, err := cryptoid.NewCA(org.MSPID)
@@ -196,12 +222,41 @@ func New(cfg Config) (*Network, error) {
 			n.closePeers()
 			return nil, fmt.Errorf("fabricnet: %w", err)
 		}
+		// The channel's retained history begins at the first block the
+		// orderer will produce; everything below is already inside every
+		// peer's resume point.
+		n.histories[id] = transport.NewHistory(lastNum + 1)
+	}
+	broadcasts := make(map[string]transport.Broadcaster, len(registry.IDs()))
+	for _, id := range registry.IDs() {
+		svc, err := registry.Service(id)
+		if err != nil {
+			n.closePeers()
+			return nil, fmt.Errorf("fabricnet: %w", err)
+		}
+		broadcasts[id] = svc
+	}
+	n.node = &transport.Node{
+		NodeInfo:   transport.Info{Name: "fabricnet", Channels: registry.IDs()},
+		Histories:  n.histories,
+		Broadcasts: broadcasts,
 	}
 	return n, nil
 }
 
+// Node returns the network's in-process transport endpoint: Deliver served
+// from the per-channel histories, Broadcast routed to the per-channel
+// ordering services. Tests serve it over a wire.Server to put the whole
+// network behind real sockets.
+func (n *Network) Node() *transport.Node { return n.node }
+
 // Peers returns all peers (ordered by organization, then index).
 func (n *Network) Peers() []*peer.Peer { return n.peers }
+
+// MSP returns the network's shared membership provider — tests and external
+// processes joining the network's trust domain register their org roots
+// here.
+func (n *Network) MSP() *cryptoid.MSP { return n.msp }
 
 // Peer returns the named peer.
 func (n *Network) Peer(name string) (*peer.Peer, error) {
@@ -270,20 +325,25 @@ func (n *Network) InstallChaincodeOn(channelID, name string, cc chaincode.Chainc
 	return nil
 }
 
-// Start subscribes every peer to every channel's ordering service and
-// launches one committer pipeline per (peer, channel) pair — channels
-// deliver and commit independently, so a slow channel never stalls the
-// others. Committer.Pipeline sets each pipeline's depth: 0 commits each
-// block synchronously; N >= 1 decodes and endorsement-validates up to N
-// delivered blocks ahead of the serialized commit stage (DESIGN.md §7).
+// Start launches the delivery plane: one History feeder per channel (the
+// orderer subscription drained into the channel's retained history — the
+// orderer never sees a slow peer) and one transport.DeliverToPeer loop per
+// (peer, channel) pair running against the network's Node, each with its
+// own commit pipeline — channels deliver and commit independently, so a
+// slow channel never stalls the others. Committer.Pipeline sets each
+// pipeline's depth: 0 commits each block synchronously; N >= 1 decodes and
+// endorsement-validates up to N delivered blocks ahead of the serialized
+// commit stage (DESIGN.md §7).
 //
-// A commit failure on one (peer, channel) is recorded (Err) and stops
-// committing on that pair only; its pipeline keeps DRAINING the deliver
-// stream until the orderer closes it, so an abandoned subscription never
-// applies backpressure to the channel's delivery. (The old committer
-// returned on first error with its deliver buffer full — once the orderer
-// filled the abandoned buffer, the whole channel's Broadcast/Flush/Stop
-// wedged.)
+// Failure discipline (the Err/TransportRetries split): a transport failure
+// — severed stream, sequence gap, lost frame — is healed by the loop
+// itself, which reconnects with backoff and resumes at the peer's height
+// (re-delivered blocks fast-forward inside CommitBlockOn); each healed
+// failure is recorded under TransportRetries. A COMMIT failure is an
+// application decision: it ends that pair's loop, is recorded under Err,
+// and the channel's history keeps flowing for everyone else, so an
+// abandoned consumer never applies backpressure to delivery (the PR 4
+// fan-out discipline, now enforced structurally by History cursors).
 func (n *Network) Start() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -291,21 +351,44 @@ func (n *Network) Start() {
 		return
 	}
 	n.started = true
-	depth := n.cfg.Committer.Pipeline
 	for _, id := range n.channels.IDs() {
+		sub, err := n.channels.Subscribe(id)
+		if err != nil {
+			n.recordError(fmt.Errorf("channel %s: subscribing feeder: %w", id, err))
+			n.histories[id].Close()
+			continue
+		}
+		n.feedWg.Add(1)
+		go func(id string, h *transport.History, sub <-chan *ledger.Block) {
+			defer n.feedWg.Done()
+			defer h.Close()
+			for b := range sub {
+				if err := h.Append(b); err != nil {
+					n.recordError(fmt.Errorf("channel %s: feeding history: %w", id, err))
+					return
+				}
+			}
+		}(id, n.histories[id], sub)
 		for _, p := range n.peers {
-			deliver, err := n.channels.Subscribe(id)
-			if err != nil {
-				n.recordError(fmt.Errorf("peer %s: subscribing to %s: %w", p.Name(), id, err))
-				continue
+			var tr transport.Transport = n.node
+			if n.cfg.TransportWrap != nil {
+				tr = n.cfg.TransportWrap(p.Name(), id, tr)
+			}
+			dcfg := transport.DeliverConfig{
+				ChannelID:  id,
+				Depth:      n.cfg.Committer.Pipeline,
+				MaxRetries: n.cfg.DeliverMaxRetries,
 			}
 			n.wg.Add(1)
-			go func(p *peer.Peer, id string, deliver <-chan *ledger.Block) {
+			go func(p *peer.Peer, id string, tr transport.Transport, dcfg transport.DeliverConfig) {
 				defer n.wg.Done()
-				if err := p.CommitPipeline(id, deliver, depth); err != nil {
+				dcfg.OnRetry = func(err error) {
+					n.recordRetry(fmt.Errorf("peer %s: channel %s: %w", p.Name(), id, err))
+				}
+				if err := transport.DeliverToPeer(tr, p, dcfg, nil); err != nil {
 					n.recordError(fmt.Errorf("peer %s: channel %s: %w", p.Name(), id, err))
 				}
-			}(p, id, deliver)
+			}(p, id, tr, dcfg)
 		}
 	}
 }
@@ -316,18 +399,37 @@ func (n *Network) recordError(err error) {
 	n.errs = append(n.errs, err)
 }
 
-// Err aggregates every recorded failure — committer errors on any
-// (peer, channel) pair, subscription failures, backend close errors —
-// with errors.Join; nil when the run was clean. errors.Is/As see through
-// the join, and the message lists every cause one per line.
+func (n *Network) recordRetry(err error) {
+	n.errMu.Lock()
+	defer n.errMu.Unlock()
+	n.retries = append(n.retries, err)
+}
+
+// Err aggregates every FATAL failure — commit errors on any (peer, channel)
+// pair, subscription failures, backend close errors — with errors.Join; nil
+// when the run was clean. errors.Is/As see through the join, and the
+// message lists every cause one per line. Transport failures that deliver
+// loops healed by reconnecting are NOT here (a healed medium is not a
+// failed run) — see TransportRetries.
 func (n *Network) Err() error {
 	n.errMu.Lock()
 	defer n.errMu.Unlock()
 	return errors.Join(n.errs...)
 }
 
-// Stop flushes every channel's orderer, waits for all peers to drain their
-// deliver channels, closes peer event streams and releases peer state
+// TransportRetries returns every transport failure the deliver loops healed
+// by reconnecting — severed streams, sequence gaps — in occurrence order.
+// Diagnostics, not failures: a run with retries and a nil Err committed
+// everything.
+func (n *Network) TransportRetries() []error {
+	n.errMu.Lock()
+	defer n.errMu.Unlock()
+	return append([]error(nil), n.retries...)
+}
+
+// Stop flushes every channel's orderer, lets the feeders drain into the
+// histories and close them, waits for every deliver loop to finish the
+// retained tail, then closes peer event streams and releases peer state
 // backends (flushing disk-backed world states).
 func (n *Network) Stop() {
 	n.mu.Lock()
@@ -338,6 +440,7 @@ func (n *Network) Stop() {
 	n.stopped = true
 	n.mu.Unlock()
 	n.channels.StopAll()
+	n.feedWg.Wait()
 	n.wg.Wait()
 	for _, p := range n.peers {
 		p.CloseEvents()

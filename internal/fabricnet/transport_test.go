@@ -1,0 +1,170 @@
+package fabricnet
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fabriccrdt/internal/peer"
+	"fabriccrdt/internal/transport"
+)
+
+// submitAll drives total conflicting readings through one Org1 client and
+// fails the test on any submission error.
+func submitAll(t *testing.T, n *Network, total int) {
+	t.Helper()
+	c, err := n.NewClient("Org1", "client0", []string{"Org1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, total)
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := c.SubmitAndWait(20*time.Second, "iot", []byte("record"), []byte("dev1"), []byte(fmt.Sprintf("%d", i)))
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("tx %d failed: %v", i, err)
+		}
+	}
+}
+
+// assertConverged checks every listed peer holds byte-identical world state
+// and equal height on the default channel.
+func assertConverged(t *testing.T, peers []*peer.Peer) {
+	t.Helper()
+	ref := peers[0]
+	refState := ref.DB().GetRange("", "")
+	refHeight, err := ref.HeightOn(ref.Channels()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range peers[1:] {
+		h, err := p.HeightOn(p.Channels()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h != refHeight {
+			t.Fatalf("peer %s height %d, %s height %d", p.Name(), h, ref.Name(), refHeight)
+		}
+		if !reflect.DeepEqual(p.DB().GetRange("", ""), refState) {
+			t.Fatalf("peer %s world state diverged from %s", p.Name(), ref.Name())
+		}
+	}
+}
+
+// TestDeliverLoopHealsSeveredStream is the Err-split regression (ISSUE 7
+// satellite): severing one peer's block stream mid-delivery must NOT wedge
+// or fail the network — the deliver loop reconnects, resumes at its height,
+// fast-forwards any re-delivered blocks, and the healed failures land in
+// TransportRetries while Err stays nil.
+func TestDeliverLoopHealsSeveredStream(t *testing.T) {
+	cfg := PaperConfig(10, true)
+	cfg.Orderer.BatchTimeout = 50 * time.Millisecond
+	var chaos *transport.Chaos
+	cfg.TransportWrap = func(peerName, channelID string, tr transport.Transport) transport.Transport {
+		if peerName != "Org3.peer1" {
+			return tr
+		}
+		chaos = transport.NewChaos(tr, transport.ChaosConfig{DisconnectEvery: 2, MaxFaults: 3})
+		return chaos
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallChaincode("iot", iotCC(), testPolicy); err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	defer n.Stop()
+	submitAll(t, n, 30)
+	n.Stop()
+	if err := n.Err(); err != nil {
+		t.Fatalf("healed transport faults must not fail the run: %v", err)
+	}
+	if chaos == nil || chaos.Faults() == 0 {
+		t.Fatal("chaos injected no faults — nothing was proven")
+	}
+	retries := n.TransportRetries()
+	if len(retries) == 0 {
+		t.Fatal("severed streams healed but no retries recorded")
+	}
+	for _, r := range retries {
+		if !strings.Contains(r.Error(), "Org3.peer1") {
+			t.Fatalf("retry attributed to the wrong peer: %v", r)
+		}
+	}
+	assertConverged(t, n.Peers())
+}
+
+// TestCommitErrorIsFatalNotRetried is the other half of the split: a
+// corrupted block is an application rejection — the afflicted peer's loop
+// must die and surface in Err (not reconnect-loop), while every other peer
+// and the network's shutdown are untouched.
+func TestCommitErrorIsFatalNotRetried(t *testing.T) {
+	cfg := PaperConfig(10, true)
+	cfg.Orderer.BatchTimeout = 50 * time.Millisecond
+	cfg.TransportWrap = func(peerName, channelID string, tr transport.Transport) transport.Transport {
+		if peerName != "Org3.peer1" {
+			return tr
+		}
+		return transport.NewChaos(tr, transport.ChaosConfig{TamperNth: 2, MaxFaults: 1})
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallChaincode("iot", iotCC(), testPolicy); err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	defer n.Stop()
+	submitAll(t, n, 30)
+	// Stop completing at all proves the poisoned pair wedged nothing.
+	n.Stop()
+	err = n.Err()
+	if err == nil {
+		t.Fatal("tampered block committed without error")
+	}
+	if !strings.Contains(err.Error(), "Org3.peer1") {
+		t.Fatalf("fatal error not attributed to the tampered peer: %v", err)
+	}
+	if transport.Retryable(err) {
+		t.Fatalf("commit error classified retryable: %v", err)
+	}
+	// The other five peers are unharmed and converged.
+	var healthy []*peer.Peer
+	for _, p := range n.Peers() {
+		if p.Name() != "Org3.peer1" {
+			healthy = append(healthy, p)
+		}
+	}
+	assertConverged(t, healthy)
+	// The tampered peer stopped short: it rejected the corrupt block and
+	// never committed past it.
+	bad, err := n.Peer("Org3.peer1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	badH, err := bad.HeightOn(n.DefaultChannel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodH, err := healthy[0].HeightOn(n.DefaultChannel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if badH >= goodH {
+		t.Fatalf("tampered peer height %d not behind healthy height %d", badH, goodH)
+	}
+}

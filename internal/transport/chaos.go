@@ -1,0 +1,226 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/peer"
+)
+
+// ChaosConfig scripts the faults a Chaos middleware injects into the
+// Deliver stream. Faults are deterministic — keyed to the running count of
+// blocks received through the middleware, across all its streams — so a
+// test run injects the same faults every time. Zero fields inject nothing.
+type ChaosConfig struct {
+	// DropNth silently drops every Nth received block — the consumer sees
+	// a sequence gap and must reconnect.
+	DropNth int
+	// DuplicateNth delivers every Nth received block twice — at-least-once
+	// delivery; the consumer's fast-forward dedup absorbs it.
+	DuplicateNth int
+	// ReorderNth swaps every Nth received block with its successor — the
+	// consumer sees a future block first (a gap) and must reconnect.
+	ReorderNth int
+	// TamperNth corrupts every Nth received block's data hash (on a
+	// private copy). Framing and sequencing stay valid, so this models a
+	// lying or broken source — the peer's hash-chain verification must
+	// reject it FATALLY, never reconnect-loop on it.
+	TamperNth int
+	// DisconnectEvery severs the stream (a retryable error, after closing
+	// the inner stream) after every N received blocks — the mid-stream
+	// disconnect the deliver loop must heal by reconnecting.
+	DisconnectEvery int
+	// MaxFaults bounds the total faults injected (0 = unlimited); tests
+	// use it to guarantee convergence.
+	MaxFaults int
+	// Delay sleeps this long before delivering each block (latency
+	// injection).
+	Delay time.Duration
+}
+
+// Chaos is fault-injecting middleware over any Transport: it perturbs the
+// Deliver stream per its config and passes the unary streams through
+// untouched. It is how the conformance suite proves a consumer loop
+// survives a hostile medium on BOTH transports, and how fabricnet's
+// fault-injection tests sever a live peer's block stream mid-flight
+// (fabricnet.Config.TransportWrap).
+type Chaos struct {
+	inner Transport
+	cfg   ChaosConfig
+
+	mu     sync.Mutex
+	recv   int // blocks received through the middleware, all streams
+	faults int // faults injected so far
+}
+
+// NewChaos wraps inner with the scripted fault injection.
+func NewChaos(inner Transport, cfg ChaosConfig) *Chaos {
+	return &Chaos{inner: inner, cfg: cfg}
+}
+
+// Faults returns how many faults have been injected.
+func (c *Chaos) Faults() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faults
+}
+
+// chaosFault is the per-block fault decision.
+type chaosFault int
+
+const (
+	faultNone chaosFault = iota
+	faultDrop
+	faultDuplicate
+	faultReorder
+	faultTamper
+	faultDisconnect
+)
+
+// decide counts one received block and picks its fault, respecting the
+// fault budget. Disconnects take precedence (they are the coarsest), then
+// drop, duplicate, reorder, tamper.
+func (c *Chaos) decide() chaosFault {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recv++
+	if c.cfg.MaxFaults > 0 && c.faults >= c.cfg.MaxFaults {
+		return faultNone
+	}
+	nth := func(n int) bool { return n > 0 && c.recv%n == 0 }
+	var f chaosFault
+	switch {
+	case nth(c.cfg.DisconnectEvery):
+		f = faultDisconnect
+	case nth(c.cfg.DropNth):
+		f = faultDrop
+	case nth(c.cfg.DuplicateNth):
+		f = faultDuplicate
+	case nth(c.cfg.ReorderNth):
+		f = faultReorder
+	case nth(c.cfg.TamperNth):
+		f = faultTamper
+	default:
+		return faultNone
+	}
+	c.faults++
+	return f
+}
+
+// Deliver opens the inner stream wrapped with fault injection.
+func (c *Chaos) Deliver(channelID string, from uint64) (BlockStream, error) {
+	s, err := c.inner.Deliver(channelID, from)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosStream{c: c, inner: s}, nil
+}
+
+// Broadcast passes through.
+func (c *Chaos) Broadcast(tx *ledger.Transaction) error { return c.inner.Broadcast(tx) }
+
+// Endorse passes through.
+func (c *Chaos) Endorse(prop peer.Proposal) (peer.ProposalResponse, error) {
+	return c.inner.Endorse(prop)
+}
+
+// Submit passes through.
+func (c *Chaos) Submit(tx *ledger.Transaction) (peer.CommitEvent, error) {
+	return c.inner.Submit(tx)
+}
+
+// Close closes the inner transport.
+func (c *Chaos) Close() error { return c.inner.Close() }
+
+// chaosStream injects the scripted faults into one Deliver stream.
+type chaosStream struct {
+	c     *Chaos
+	inner BlockStream
+
+	mu sync.Mutex
+	// queued holds a block to deliver before reading the inner stream
+	// again (the duplicate's second copy, or the held-back half of a
+	// reorder).
+	queued *ledger.Block
+	// deferred is an inner-stream error to surface after queued drains (a
+	// reorder lookahead that hit the stream end).
+	deferred error
+}
+
+// Recv applies the fault schedule to the inner stream.
+func (s *chaosStream) Recv() (*ledger.Block, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queued != nil {
+		b := s.queued
+		s.queued = nil
+		return b, nil
+	}
+	if s.deferred != nil {
+		err := s.deferred
+		s.deferred = nil
+		return nil, err
+	}
+	for {
+		b, err := s.inner.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if s.c.cfg.Delay > 0 {
+			time.Sleep(s.c.cfg.Delay)
+		}
+		switch s.c.decide() {
+		case faultDrop:
+			continue
+		case faultDuplicate:
+			s.queued = b
+			return b, nil
+		case faultReorder:
+			next, err := s.inner.Recv()
+			if err != nil {
+				// Stream ended under the lookahead: deliver the held block
+				// now, surface the end on the next Recv.
+				s.deferred = err
+				return b, nil
+			}
+			s.queued = b
+			return next, nil
+		case faultTamper:
+			return tamperBlock(b), nil
+		case faultDisconnect:
+			s.inner.Close()
+			return nil, Errorf("deliver", true, "chaos: connection severed mid-stream")
+		default:
+			return b, nil
+		}
+	}
+}
+
+// Close closes the inner stream.
+func (s *chaosStream) Close() error { return s.inner.Close() }
+
+// tamperBlock corrupts a PRIVATE copy of the block's data hash — the
+// original may be shared with other consumers of an in-process history.
+func tamperBlock(b *ledger.Block) *ledger.Block {
+	raw, err := b.Marshal()
+	if err != nil {
+		return b
+	}
+	copied, err := ledger.UnmarshalBlock(raw)
+	if err != nil {
+		return b
+	}
+	if len(copied.Header.DataHash) > 0 {
+		copied.Header.DataHash[0] ^= 0xFF
+	} else {
+		copied.Header.DataHash = []byte{0xFF}
+	}
+	return copied
+}
+
+// Compile-time interface checks.
+var (
+	_ Transport = (*Chaos)(nil)
+	_ Transport = (*Node)(nil)
+)

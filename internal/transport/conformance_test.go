@@ -1,0 +1,16 @@
+package transport_test
+
+import (
+	"testing"
+
+	"fabriccrdt/internal/transport"
+	"fabriccrdt/internal/transport/conformance"
+)
+
+// TestInProcessConformance runs the full transport contract against the
+// in-process implementation: the Node IS the transport.
+func TestInProcessConformance(t *testing.T) {
+	conformance.Run(t, func(t testing.TB, node *transport.Node) transport.Transport {
+		return node
+	})
+}

@@ -1,0 +1,476 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/peer"
+	"fabriccrdt/internal/transport"
+)
+
+// ClientConfig tunes a wire client's connection handling.
+type ClientConfig struct {
+	// DialTimeout bounds each dial attempt (default 3s).
+	DialTimeout time.Duration
+	// DialRetries is how many times a lazy reconnect re-dials, with
+	// exponential backoff from DialBackoff, before the call fails
+	// retryable (default 3 retries from 25ms).
+	DialRetries int
+	DialBackoff time.Duration
+	// CallTimeout bounds each unary request (default 30s).
+	CallTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 10s).
+	WriteTimeout time.Duration
+}
+
+func (c *ClientConfig) fill() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 3 * time.Second
+	}
+	if c.DialRetries <= 0 {
+		c.DialRetries = 3
+	}
+	if c.DialBackoff <= 0 {
+		c.DialBackoff = 25 * time.Millisecond
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+}
+
+// Client is the dialing side of the wire transport: one TCP connection per
+// endpoint, all four streams multiplexed over it by client-assigned stream
+// ids. When the connection dies, every in-flight call and stream fails with
+// a RETRYABLE transport.Error, and the next call re-dials with exponential
+// backoff — the deliver loop's reconnect discipline composes on top. Client
+// implements transport.Transport.
+type Client struct {
+	addr string
+	cfg  ClientConfig
+
+	mu      sync.Mutex
+	conn    net.Conn             // nil when disconnected
+	writeMu *sync.Mutex          // per-connection write lock
+	calls   map[uint64]*wireCall // in-flight, routed by the read loop
+	nextID  uint64
+	info    transport.Info
+	closed  bool
+}
+
+// wireCall is one in-flight request or open stream: the read loop pushes
+// frames, the caller pops them. The queue is unbounded so a slow deliver
+// consumer never stalls the read loop (and with it every other stream on
+// the connection) — lag costs this client memory, nothing else.
+type wireCall struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []frame
+	err    error // terminal: connection torn down
+	closed bool
+}
+
+func newWireCall() *wireCall {
+	c := &wireCall{}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (w *wireCall) push(f frame) {
+	w.mu.Lock()
+	w.queue = append(w.queue, f)
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *wireCall) fail(err error) {
+	w.mu.Lock()
+	w.err = err
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+func (w *wireCall) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// pop waits for the next frame. A deadline of zero waits forever.
+func (w *wireCall) pop(deadline time.Time) (frame, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var timer *time.Timer
+	if !deadline.IsZero() {
+		timer = time.AfterFunc(time.Until(deadline), w.cond.Broadcast)
+		defer timer.Stop()
+	}
+	for {
+		if len(w.queue) > 0 {
+			f := w.queue[0]
+			w.queue = w.queue[1:]
+			return f, nil
+		}
+		if w.closed {
+			return frame{}, transport.ErrClosed
+		}
+		if w.err != nil {
+			return frame{}, w.err
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return frame{}, transport.Errorf("call", false, "wire: call timed out")
+		}
+		w.cond.Wait()
+	}
+}
+
+// Dial connects to a wire server and reads its Hello. The returned client
+// lazily reconnects after failures.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	cfg.fill()
+	c := &Client{addr: addr, cfg: cfg, calls: make(map[uint64]*wireCall)}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Info returns the server's handshake metadata (name, MSP id, channels).
+func (c *Client) Info() transport.Info {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.info
+}
+
+// connectLocked dials once and completes the Hello handshake. c.mu held.
+func (c *Client) connectLocked() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return transport.Errorf("dial", true, "wire: %v", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(c.cfg.DialTimeout))
+	hello, err := readFrame(conn)
+	if err != nil || hello.Type != ftHello {
+		conn.Close()
+		return transport.Errorf("dial", true, "wire: bad hello from %s: %v", c.addr, err)
+	}
+	var info transport.Info
+	if err := unmarshalBody(hello.Body, &info); err != nil {
+		conn.Close()
+		return transport.Errorf("dial", true, "wire: bad hello body from %s: %v", c.addr, err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	c.conn = conn
+	c.writeMu = &sync.Mutex{}
+	c.info = info
+	go c.readLoop(conn)
+	return nil
+}
+
+// ensure returns the live connection and its write lock, reconnecting with
+// exponential backoff when the previous connection died.
+func (c *Client) ensure() (net.Conn, *sync.Mutex, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, nil, transport.ErrClosed
+	}
+	if c.conn != nil {
+		return c.conn, c.writeMu, nil
+	}
+	backoff := c.cfg.DialBackoff
+	var err error
+	for attempt := 0; attempt <= c.cfg.DialRetries; attempt++ {
+		if attempt > 0 {
+			c.mu.Unlock()
+			time.Sleep(backoff)
+			backoff *= 2
+			c.mu.Lock()
+			if c.closed {
+				return nil, nil, transport.ErrClosed
+			}
+			if c.conn != nil { // another caller reconnected while we slept
+				return c.conn, c.writeMu, nil
+			}
+		}
+		if err = c.connectLocked(); err == nil {
+			return c.conn, c.writeMu, nil
+		}
+	}
+	return nil, nil, err
+}
+
+// readLoop routes incoming frames to their calls until the connection dies,
+// then fails every in-flight call retryably.
+func (c *Client) readLoop(conn net.Conn) {
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			c.teardown(conn, err)
+			return
+		}
+		c.mu.Lock()
+		call := c.calls[f.Stream]
+		c.mu.Unlock()
+		if call != nil {
+			call.push(f)
+		}
+	}
+}
+
+// teardown clears a dead connection and fails its in-flight calls.
+func (c *Client) teardown(conn net.Conn, cause error) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn != conn { // already replaced
+		c.mu.Unlock()
+		return
+	}
+	c.conn = nil
+	calls := c.calls
+	c.calls = make(map[uint64]*wireCall)
+	c.mu.Unlock()
+	err := transport.Errorf("conn", true, "wire: connection to %s lost: %v", c.addr, cause)
+	if c.isClosed() {
+		err = &transport.Error{Op: "conn", Retryable: false, Err: transport.ErrClosed}
+	}
+	for _, call := range calls {
+		call.fail(err)
+	}
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// register allocates a stream id on the given connection.
+func (c *Client) register(conn net.Conn) (uint64, *wireCall, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != conn { // torn down between ensure and register
+		return 0, nil, false
+	}
+	c.nextID++
+	id := c.nextID
+	call := newWireCall()
+	c.calls[id] = call
+	return id, call, true
+}
+
+func (c *Client) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.calls, id)
+	c.mu.Unlock()
+}
+
+// send writes one frame under the connection's write lock.
+func (c *Client) send(conn net.Conn, writeMu *sync.Mutex, f frame) error {
+	writeMu.Lock()
+	defer writeMu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
+	if err := writeFrame(conn, f); err != nil {
+		return transport.Errorf("conn", true, "wire: writing to %s: %v", c.addr, err)
+	}
+	return nil
+}
+
+// unary performs one request/response exchange.
+func (c *Client) unary(ft frameType, op string, body []byte) ([]byte, error) {
+	conn, writeMu, err := c.ensure()
+	if err != nil {
+		return nil, err
+	}
+	id, call, ok := c.register(conn)
+	if !ok {
+		return nil, transport.Errorf(op, true, "wire: connection to %s lost", c.addr)
+	}
+	defer c.unregister(id)
+	if err := c.send(conn, writeMu, frame{Type: ft, Stream: id, Body: body}); err != nil {
+		return nil, err
+	}
+	f, err := call.pop(time.Now().Add(c.cfg.CallTimeout))
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case ftMsg:
+		return f.Body, nil
+	case ftErr:
+		return nil, decodeWireError(op, f.Body)
+	default:
+		return nil, transport.Errorf(op, false, "wire: unexpected frame type %d in response", f.Type)
+	}
+}
+
+// decodeWireError rebuilds the server-side transport error, preserving its
+// retryable/fatal classification.
+func decodeWireError(op string, body []byte) error {
+	var we wireError
+	if err := unmarshalBody(body, &we); err != nil {
+		return transport.Errorf(op, false, "wire: undecodable error frame: %v", err)
+	}
+	if we.Op == "" {
+		we.Op = op
+	}
+	return transport.Errorf(we.Op, we.Retryable, "%s", we.Msg)
+}
+
+// Deliver opens a block stream over the wire. The returned stream verifies
+// per-stream sequence contiguity: a skipped or repeated wire frame is a
+// medium failure and surfaces as a retryable error.
+func (c *Client) Deliver(channelID string, from uint64) (transport.BlockStream, error) {
+	conn, writeMu, err := c.ensure()
+	if err != nil {
+		return nil, err
+	}
+	body, err := marshalBody(deliverOpen{Channel: channelID, From: from})
+	if err != nil {
+		return nil, err
+	}
+	id, call, ok := c.register(conn)
+	if !ok {
+		return nil, transport.Errorf("deliver", true, "wire: connection to %s lost", c.addr)
+	}
+	if err := c.send(conn, writeMu, frame{Type: ftOpenDeliver, Stream: id, Body: body}); err != nil {
+		c.unregister(id)
+		return nil, err
+	}
+	return &clientStream{c: c, conn: conn, writeMu: writeMu, id: id, call: call}, nil
+}
+
+// Broadcast submits one envelope for ordering.
+func (c *Client) Broadcast(tx *ledger.Transaction) error {
+	body, err := tx.Marshal()
+	if err != nil {
+		return fmt.Errorf("wire: encoding transaction: %w", err)
+	}
+	_, err = c.unary(ftBroadcast, "broadcast", body)
+	return err
+}
+
+// Endorse simulates a proposal on the remote peer.
+func (c *Client) Endorse(prop peer.Proposal) (peer.ProposalResponse, error) {
+	body, err := marshalBody(prop)
+	if err != nil {
+		return peer.ProposalResponse{}, err
+	}
+	respBody, err := c.unary(ftEndorse, "endorse", body)
+	if err != nil {
+		return peer.ProposalResponse{}, err
+	}
+	var resp peer.ProposalResponse
+	if err := unmarshalBody(respBody, &resp); err != nil {
+		return peer.ProposalResponse{}, err
+	}
+	return resp, nil
+}
+
+// Submit runs the full gateway lifecycle on the remote endpoint.
+func (c *Client) Submit(tx *ledger.Transaction) (peer.CommitEvent, error) {
+	body, err := tx.Marshal()
+	if err != nil {
+		return peer.CommitEvent{}, fmt.Errorf("wire: encoding transaction: %w", err)
+	}
+	respBody, err := c.unary(ftSubmit, "submit", body)
+	if err != nil {
+		return peer.CommitEvent{}, err
+	}
+	var ev peer.CommitEvent
+	if err := unmarshalBody(respBody, &ev); err != nil {
+		return peer.CommitEvent{}, err
+	}
+	return ev, nil
+}
+
+// Close severs the connection and fails all in-flight calls with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		c.teardown(conn, transport.ErrClosed)
+	}
+	return nil
+}
+
+// clientStream is one open wire deliver session.
+type clientStream struct {
+	c       *Client
+	conn    net.Conn
+	writeMu *sync.Mutex
+	id      uint64
+	call    *wireCall
+
+	seq    uint64 // last verified wire sequence number
+	closed bool
+	mu     sync.Mutex
+}
+
+// Recv returns the next block, verifying wire-level sequence contiguity.
+// One goroutine consumes a stream (the BlockStream contract); Close from
+// another goroutine unblocks it.
+func (s *clientStream) Recv() (*ledger.Block, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, io.EOF
+	}
+	f, err := s.call.pop(time.Time{})
+	if err != nil {
+		if errors.Is(err, transport.ErrClosed) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	switch f.Type {
+	case ftMsg:
+		if f.Seq != s.seq+1 {
+			return nil, transport.Errorf("deliver", true,
+				"wire: stream sequence gap: frame seq %d, expected %d", f.Seq, s.seq+1)
+		}
+		s.seq = f.Seq
+		b, err := ledger.UnmarshalBlock(f.Body)
+		if err != nil {
+			return nil, transport.Errorf("deliver", true, "wire: undecodable block frame: %v", err)
+		}
+		return b, nil
+	case ftEnd:
+		return nil, io.EOF
+	case ftErr:
+		return nil, decodeWireError("deliver", f.Body)
+	default:
+		return nil, transport.Errorf("deliver", false, "wire: unexpected frame type %d on deliver stream", f.Type)
+	}
+}
+
+// Close cancels the session server-side (best effort) and releases it.
+func (s *clientStream) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.c.unregister(s.id)
+	s.call.close()
+	s.c.send(s.conn, s.writeMu, frame{Type: ftCancel, Stream: s.id})
+	return nil
+}
+
+// Compile-time interface check.
+var _ transport.Transport = (*Client)(nil)

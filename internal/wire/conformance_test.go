@@ -1,0 +1,30 @@
+package wire_test
+
+import (
+	"testing"
+
+	"fabriccrdt/internal/transport"
+	"fabriccrdt/internal/transport/conformance"
+	"fabriccrdt/internal/wire"
+)
+
+// TestWireConformance runs the full transport contract — same suite as the
+// in-process transport — across a real loopback TCP connection: every
+// block, proposal and envelope is framed, checksummed and sequence-checked
+// on the way through.
+func TestWireConformance(t *testing.T) {
+	conformance.Run(t, func(t testing.TB, node *transport.Node) transport.Transport {
+		srv := wire.NewServer(node, node.NodeInfo)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		c, err := wire.Dial(addr.String(), wire.ClientConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	})
+}

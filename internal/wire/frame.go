@@ -1,0 +1,169 @@
+// Package wire is the framed-TCP implementation of transport.Transport: the
+// four FabricCRDT streams (Deliver, Broadcast, Endorse, Submit) multiplexed
+// over one TCP connection as length-prefixed, CRC-checked, version-tagged
+// JSON frames — the same framing discipline as the durable block store
+// (internal/blockstore), lifted onto a socket. Serve exposes a
+// transport.Transport (usually a *transport.Node) on a listener; Dial
+// returns a client Transport that lazily connects, multiplexes concurrent
+// calls by stream id, verifies per-stream sequence numbers, and reports
+// every medium failure as a retryable transport.Error so deliver loops
+// reconnect with backoff instead of wedging.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Version is the wire protocol version carried by every frame. A receiver
+// rejects any other value — no negotiation, both ends of a deployment ship
+// together.
+const Version = 1
+
+// Frame layout, mirroring the block store's record discipline:
+//
+//	[4B LE frame length][4B LE CRC-32C][1B version][1B type][8B LE stream][8B LE seq][body]
+//
+// The frame length counts everything after the CRC (version byte through
+// body); the CRC-32C (Castagnoli) covers those same bytes. The 18 fixed
+// bytes after the CRC are the frame header; the body is frame-type-specific
+// JSON.
+const (
+	// prefixLen is the length prefix + checksum preceding every frame.
+	prefixLen = 8
+	// headerLen is the fixed header covered by the length and CRC.
+	headerLen = 1 + 1 + 8 + 8
+	// MaxFrameBytes caps a frame's declared length BEFORE any allocation —
+	// a corrupt or hostile length prefix must not balloon memory. 64 MiB
+	// comfortably clears any block the cutter produces.
+	MaxFrameBytes = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameType discriminates the multiplexed traffic on a connection.
+type frameType uint8
+
+const (
+	// ftHello is sent by the server immediately after accept; its body is
+	// the endpoint's transport.Info.
+	ftHello frameType = iota + 1
+	// ftOpenDeliver opens a block stream (body: deliverOpen). The server
+	// answers with ftMsg frames carrying blocks, seq 1,2,3,… then ftEnd on
+	// clean shutdown or ftErr on failure.
+	ftOpenDeliver
+	// ftBroadcast, ftEndorse and ftSubmit are unary requests (bodies: the
+	// transaction, proposal, transaction); the server answers each with a
+	// single ftMsg (the result) or ftErr on the same stream id.
+	ftBroadcast
+	ftEndorse
+	ftSubmit
+	// ftMsg carries a response or stream element.
+	ftMsg
+	// ftEnd closes a deliver stream cleanly (io.EOF to the consumer).
+	ftEnd
+	// ftErr fails a stream or request (body: wireError).
+	ftErr
+	// ftCancel asks the server to tear down a deliver stream (no body).
+	ftCancel
+)
+
+// frame is one decoded frame.
+type frame struct {
+	Type   frameType
+	Stream uint64
+	Seq    uint64
+	Body   []byte
+}
+
+// deliverOpen is the ftOpenDeliver body.
+type deliverOpen struct {
+	Channel string `json:"channel"`
+	From    uint64 `json:"from"`
+}
+
+// wireError is the ftErr body: a transport failure serialized across the
+// socket, preserving the retryable/fatal distinction.
+type wireError struct {
+	Op        string `json:"op"`
+	Retryable bool   `json:"retryable"`
+	Msg       string `json:"msg"`
+}
+
+// writeFrame encodes and writes one frame. Callers serialize writes per
+// connection (a torn interleaved frame is unrecoverable for the reader).
+func writeFrame(w io.Writer, f frame) error {
+	n := headerLen + len(f.Body)
+	if n > MaxFrameBytes {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrameBytes)
+	}
+	buf := make([]byte, prefixLen+n)
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(n))
+	buf[8] = Version
+	buf[9] = byte(f.Type)
+	binary.LittleEndian.PutUint64(buf[10:18], f.Stream)
+	binary.LittleEndian.PutUint64(buf[18:26], f.Seq)
+	copy(buf[26:], f.Body)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(buf[8:], crcTable))
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads and verifies one frame. Any malformed input — truncation,
+// a length prefix beyond MaxFrameBytes or below the header size, a checksum
+// mismatch, a version mismatch — returns an error; readFrame never panics
+// and never allocates more than the declared (capped) length. The fuzz
+// harness (frame_fuzz_test.go) holds it to that.
+func readFrame(r io.Reader) (frame, error) {
+	var prefix [prefixLen]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return frame{}, err // io.EOF at a frame boundary = clean close
+	}
+	n := binary.LittleEndian.Uint32(prefix[0:4])
+	if n > MaxFrameBytes {
+		return frame{}, fmt.Errorf("wire: frame length %d exceeds limit %d", n, MaxFrameBytes)
+	}
+	if n < headerLen {
+		return frame{}, fmt.Errorf("wire: frame length %d below header size %d", n, headerLen)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return frame{}, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	if got, want := crc32.Checksum(buf, crcTable), binary.LittleEndian.Uint32(prefix[4:8]); got != want {
+		return frame{}, fmt.Errorf("wire: frame checksum mismatch: computed %08x, recorded %08x", got, want)
+	}
+	if buf[0] != Version {
+		return frame{}, fmt.Errorf("wire: protocol version %d, want %d", buf[0], Version)
+	}
+	return frame{
+		Type:   frameType(buf[1]),
+		Stream: binary.LittleEndian.Uint64(buf[2:10]),
+		Seq:    binary.LittleEndian.Uint64(buf[10:18]),
+		Body:   buf[18:],
+	}, nil
+}
+
+// marshalBody JSON-encodes a frame body, failing loudly rather than
+// shipping a half-built frame.
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encoding %T: %w", v, err)
+	}
+	return b, nil
+}
+
+// unmarshalBody decodes a frame body.
+func unmarshalBody(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("wire: decoding %T: %w", v, err)
+	}
+	return nil
+}
