@@ -12,6 +12,7 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+	sh scripts/check_metrics.sh
 
 build:
 	$(GO) build ./...
@@ -36,8 +37,10 @@ test-wire: vet
 	$(GO) test -run TestMultiProcess ./cmd/fabricnet
 
 # Just the multi-process smoke: spawn orderer + peer binaries, submit
-# transactions over real sockets, assert the committed height (CI runs
-# this as its own step so a wire regression is named in the job log).
+# transactions over real sockets, assert the committed height, and scrape
+# the live peer's /metrics + /healthz (failing on malformed exposition).
+# CI runs this as its own step so a wire regression is named in the job
+# log.
 smoke-multiproc:
 	$(GO) test -run TestMultiProcessSmoke -v ./cmd/fabricnet
 

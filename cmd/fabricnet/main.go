@@ -40,6 +40,7 @@ import (
 	"fabriccrdt"
 
 	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/obs"
 	"fabriccrdt/internal/workload"
 )
 
@@ -61,6 +62,12 @@ func main() {
 		fsync       = flag.Bool("fsync", false, "fsync each peer's state log (and block log) after every committed block (-backend disk only): closes the power-loss window; the async pipeline hides the added latency")
 		persist     = flag.Bool("persist-blocks", true, "persist committed block bodies in each peer's durable block store (-backend disk only): restarted peers then serve their full history to lagging peers and can rebuild their world state from block 0")
 		timings     = flag.Bool("timings", false, "print per-stage commit latencies per peer")
+
+		// Observability (docs/OBSERVABILITY.md), available in every role and
+		// the in-process benchmark.
+		metricsAddr = flag.String("metrics-addr", "", "HTTP listen address serving /metrics (Prometheus text), /healthz, /readyz and /debug/pprof (e.g. 127.0.0.1:9090; empty = disabled)")
+		traceOut    = flag.String("trace-out", "", "enable transaction tracing and write a Chrome trace-event JSON file here on shutdown (load it at chrome://tracing or https://ui.perfetto.dev)")
+		queueWarn   = flag.Int("queue-warn", obs.DefaultQueueWarnDepth, "log a rate-limited warning when any unbounded handoff queue exceeds this depth (0 disables)")
 
 		// Multi-process roles (see roles.go): split the network into
 		// separate OS processes over the wire transport.
@@ -144,6 +151,9 @@ func main() {
 			enableCRDT:   *enableCRDT,
 			txs:          *totalTx,
 			gen:          gen,
+			metricsAddr:  *metricsAddr,
+			traceOut:     *traceOut,
+			queueWarn:    *queueWarn,
 			committer: fabriccrdt.CommitterConfig{
 				Workers:         *workers,
 				FinalizeWorkers: *finalizeW,
@@ -178,11 +188,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ob, err := startObs("fabricnet", *metricsAddr, *traceOut, *queueWarn, net.Registries()...)
+	if err != nil {
+		fatal(err)
+	}
+	defer ob.shutdown()
 	if err := net.InstallChaincode("iot", gen.Chaincode(), "OR('Org1.member','Org2.member','Org3.member')"); err != nil {
 		fatal(err)
 	}
 	net.Start()
 	defer net.Stop()
+	ob.setReady()
 
 	mode := "FabricCRDT"
 	if !*enableCRDT {

@@ -9,6 +9,8 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"fabriccrdt/internal/cryptoid"
+	"fabriccrdt/internal/obs"
 	"fabriccrdt/internal/peer"
 )
 
@@ -153,16 +156,18 @@ func (p *proc) waitExit(timeout time.Duration) {
 }
 
 const (
-	listenRE = `listening on (\S+)`
-	heightRE = `client saw height (\d+) on channel1`
+	listenRE  = `listening on (\S+)`
+	heightRE  = `client saw height (\d+) on channel1`
+	metricsRE = `metrics on (\S+)`
 )
 
 // startOrderer spawns the ordering process and returns its address.
-func startOrderer(t *testing.T) (*proc, string) {
+func startOrderer(t *testing.T, extra ...string) (*proc, string) {
 	t.Helper()
-	p := startProc(t, "orderer",
+	args := append([]string{
 		"-role", "orderer", "-listen", "127.0.0.1:0",
-		"-channels", "channel1", "-block", "5", "-batch-timeout", "150ms")
+		"-channels", "channel1", "-block", "5", "-batch-timeout", "150ms"}, extra...)
+	p := startProc(t, "orderer", args...)
 	return p, p.waitFor(listenRE, 15*time.Second)[1]
 }
 
@@ -179,11 +184,12 @@ func startPeer(t *testing.T, name, org, ordAddr string, extra ...string) (*proc,
 
 // clientSubmit submits txs transactions through the given peer addresses
 // and returns the final block height the client observed.
-func clientSubmit(t *testing.T, peerAddrs string, txs int) uint64 {
+func clientSubmit(t *testing.T, peerAddrs string, txs int, extra ...string) uint64 {
 	t.Helper()
-	cl := startProc(t, "client",
+	args := append([]string{
 		"-role", "client", "-org", "Org1", "-connect", peerAddrs,
-		"-channels", "channel1", "-txs", strconv.Itoa(txs))
+		"-channels", "channel1", "-txs", strconv.Itoa(txs)}, extra...)
+	cl := startProc(t, "client", args...)
 	cl.waitExit(60 * time.Second)
 	m := cl.waitFor(heightRE, time.Second)
 	h, err := strconv.ParseUint(m[1], 10, 64)
@@ -194,17 +200,145 @@ func clientSubmit(t *testing.T, peerAddrs string, txs int) uint64 {
 }
 
 // TestMultiProcessSmoke is the CI smoke: spawn orderer + peer binaries,
-// submit transactions over real sockets, assert the peer commits them, and
-// shut everything down cleanly.
+// submit transactions over real sockets, assert the peer commits them,
+// scrape the peer's live /metrics endpoint, and shut everything down
+// cleanly.
 func TestMultiProcessSmoke(t *testing.T) {
 	ord, ordAddr := startOrderer(t)
-	pr, peerAddr := startPeer(t, "Org1.peer0", "Org1", ordAddr)
+	pr, peerAddr := startPeer(t, "Org1.peer0", "Org1", ordAddr, "-metrics-addr", "127.0.0.1:0")
+	metricsAddr := pr.waitFor(metricsRE, 15*time.Second)[1]
 
 	h := clientSubmit(t, peerAddr, 12)
 	pr.waitFor(fmt.Sprintf(`committed block %d on channel1`, h), 15*time.Second)
 
+	// Scrape the live peer: the exposition must parse, and the commit-path
+	// histograms and wire counters must be present with real samples.
+	body := httpGet(t, "http://"+metricsAddr+"/metrics")
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("peer /metrics is malformed: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		obs.MetricCommitStageSeconds + "_bucket",
+		obs.MetricPeerBlockHeight,
+		obs.MetricWireFrames,
+		obs.MetricHistoryLagBlocks,
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Fatalf("peer /metrics missing %q:\n%s", want, body)
+		}
+	}
+	for _, path := range []string{"/healthz", "/readyz"} {
+		httpGet(t, "http://"+metricsAddr+path)
+	}
+
 	pr.term(15 * time.Second)
 	ord.term(15 * time.Second)
+}
+
+// httpGet fetches the URL and fails the test on any error or non-200.
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// readTrace parses one process's -trace-out dump back into spans.
+func readTrace(t *testing.T, path string) []obs.Span {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading trace file: %v", err)
+	}
+	spans, err := obs.ParseChromeTrace(data)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	return spans
+}
+
+// TestMultiProcessTracePropagation is the ISSUE 8 tracing acceptance test:
+// a trace ID minted by the client process must ride the proposal, the
+// transaction envelope, and the block across the wire so that the client,
+// peer, and orderer processes each record spans under the SAME trace ID —
+// and the spans must nest correctly (the peer's gateway.submit encloses its
+// peer.commit; clocks are only compared within one process).
+func TestMultiProcessTracePropagation(t *testing.T) {
+	dir := t.TempDir()
+	ordTrace := filepath.Join(dir, "orderer.json")
+	peerTrace := filepath.Join(dir, "peer.json")
+	clientTrace := filepath.Join(dir, "client.json")
+
+	ord, ordAddr := startOrderer(t, "-trace-out", ordTrace)
+	pr, peerAddr := startPeer(t, "Org1.peer0", "Org1", ordAddr, "-trace-out", peerTrace)
+
+	const txs = 5
+	h := clientSubmit(t, peerAddr, txs, "-trace-out", clientTrace)
+	pr.waitFor(fmt.Sprintf(`committed block %d on channel1`, h), 15*time.Second)
+
+	// Traces are dumped at shutdown; the client already exited inside
+	// clientSubmit, the peer and orderer flush on SIGTERM.
+	pr.term(15 * time.Second)
+	ord.term(15 * time.Second)
+
+	spans := readTrace(t, clientTrace)
+	spans = append(spans, readTrace(t, peerTrace)...)
+	spans = append(spans, readTrace(t, ordTrace)...)
+
+	byTrace := make(map[string][]obs.Span)
+	for _, sp := range spans {
+		if sp.TraceID != "" {
+			byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+		}
+	}
+	if len(byTrace) != txs {
+		t.Fatalf("got %d distinct trace IDs, want %d (one per transaction)", len(byTrace), txs)
+	}
+
+	for id, trace := range byTrace {
+		procs := make(map[string]bool)
+		named := make(map[string]obs.Span)
+		for _, sp := range trace {
+			procs[sp.Process] = true
+			named[sp.Name] = sp
+		}
+		if len(procs) < 3 {
+			t.Fatalf("trace %s spans only processes %v, want client + peer + orderer", id, procs)
+		}
+		for span, proc := range map[string]string{
+			"client.prepare": "wire-client",
+			"peer.endorse":   "Org1.peer0",
+			"gateway.submit": "Org1.peer0",
+			"peer.commit":    "Org1.peer0",
+			"orderer.order":  "orderer",
+		} {
+			sp, ok := named[span]
+			if !ok {
+				t.Fatalf("trace %s has no %s span; got %+v", id, span, trace)
+			}
+			if sp.Process != proc {
+				t.Fatalf("trace %s: %s recorded by process %q, want %q", id, span, sp.Process, proc)
+			}
+		}
+		// Nesting within the peer process: the gateway holds the Submit
+		// stream open until the commit event, so its span must enclose the
+		// commit span.
+		gw, cm := named["gateway.submit"], named["peer.commit"]
+		if gw.Start.After(cm.Start) || gw.Start.Add(gw.Dur).Before(cm.Start.Add(cm.Dur)) {
+			t.Fatalf("trace %s: gateway.submit [%v +%v] does not enclose peer.commit [%v +%v]",
+				id, gw.Start, gw.Dur, cm.Start, cm.Dur)
+		}
+	}
 }
 
 // TestMultiProcessKillRestartStateIdentical is the fault-injection

@@ -35,6 +35,7 @@ import (
 	"fabriccrdt/internal/cryptoid"
 	"fabriccrdt/internal/endorse"
 	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/obs"
 	"fabriccrdt/internal/orderer"
 	"fabriccrdt/internal/peer"
 	"fabriccrdt/internal/transport"
@@ -65,6 +66,9 @@ type roleOpts struct {
 	txs          int
 	gen          *workload.IoTGenerator
 	committer    peer.CommitterConfig
+	metricsAddr  string
+	traceOut     string
+	queueWarn    int
 }
 
 // runRole dispatches to the named role runner.
@@ -115,6 +119,7 @@ func runOrderer(o roleOpts) error {
 	histories := make(map[string]*transport.History, len(o.channels))
 	broadcasts := make(map[string]transport.Broadcaster, len(o.channels))
 	services := make([]*orderer.Service, 0, len(o.channels))
+	reg := obs.NewRegistry()
 	var feeders sync.WaitGroup
 	for _, id := range o.channels {
 		genesis, err := ledger.NewChain(id).Get(0)
@@ -122,10 +127,18 @@ func runOrderer(o roleOpts) error {
 			return err
 		}
 		svc := orderer.NewService(cfg, genesis)
+		svc.SetLabel(id)
 		services = append(services, svc)
 		h := transport.NewHistory(1)
+		h.SetLabel(id)
 		histories[id] = h
 		broadcasts[id] = svc
+		reg.GaugeFunc(obs.MetricOrdererQueueDepth,
+			func() float64 { return float64(svc.QueueDepth()) }, "channel", id)
+		reg.GaugeFunc(obs.MetricHistoryLagBlocks,
+			func() float64 { return float64(h.MaxLag()) }, "channel", id)
+		reg.GaugeFunc(obs.MetricHistoryStreams,
+			func() float64 { return float64(h.Streams()) }, "channel", id)
 		sub := svc.Subscribe()
 		feeders.Add(1)
 		go func(id string, h *transport.History) {
@@ -145,12 +158,17 @@ func runOrderer(o roleOpts) error {
 		Histories:  histories,
 		Broadcasts: broadcasts,
 	}
+	ob, err := startObs("orderer", o.metricsAddr, o.traceOut, o.queueWarn, obs.Default(), reg)
+	if err != nil {
+		return err
+	}
 	srv := wire.NewServer(node, node.NodeInfo)
 	addr, err := srv.Listen(o.listen)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("fabricnet: orderer listening on %s\n", addr)
+	ob.setReady()
 
 	s := awaitSignal()
 	fmt.Printf("fabricnet: orderer shutting down (%v)\n", s)
@@ -159,6 +177,7 @@ func runOrderer(o roleOpts) error {
 	}
 	feeders.Wait()
 	srv.Close()
+	ob.shutdown()
 	fmt.Println("fabricnet: orderer shut down cleanly")
 	return nil
 }
@@ -232,13 +251,20 @@ func runPeer(o roleOpts) error {
 	// gateway Submit, and Broadcast relayed to the orderer.
 	histories := make(map[string]*transport.History, len(o.channels))
 	broadcasts := make(map[string]transport.Broadcaster, len(o.channels))
+	reg := obs.NewRegistry()
 	for _, id := range o.channels {
 		chain, err := p.ChainOn(id)
 		if err != nil {
 			return err
 		}
-		histories[id] = transport.NewSourceHistory(chain)
+		h := transport.NewSourceHistory(chain)
+		h.SetLabel(id)
+		histories[id] = h
 		broadcasts[id] = oc
+		reg.GaugeFunc(obs.MetricHistoryLagBlocks,
+			func() float64 { return float64(h.MaxLag()) }, "channel", id)
+		reg.GaugeFunc(obs.MetricHistoryStreams,
+			func() float64 { return float64(h.Streams()) }, "channel", id)
 	}
 	gw := transport.NewGateway(p, oc, 30*time.Second)
 	node := &transport.Node{
@@ -248,12 +274,19 @@ func runPeer(o roleOpts) error {
 		Endorser:   p,
 		Submitter:  gw,
 	}
+	ob, err := startObs(name, o.metricsAddr, o.traceOut, o.queueWarn, obs.Default(), p.Metrics(), reg)
+	if err != nil {
+		return err
+	}
 	srv := wire.NewServer(node, node.NodeInfo)
 	addr, err := srv.Listen(o.listen)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("fabricnet: peer %s listening on %s\n", name, addr)
+	// Every channel resumed (peer.New restores the durable checkpoints) and
+	// both listeners are up: the peer is ready.
+	ob.setReady()
 
 	// Publish each committed block to the served histories and report it —
 	// the line the multi-process harness (and a human in a terminal) uses
@@ -310,6 +343,7 @@ func runPeer(o roleOpts) error {
 	srv.Close()
 	p.CloseEvents()
 	<-reporterDone
+	ob.shutdown() // after the pipelines drain, so the last spans are in the dump
 	if err := p.Close(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -351,6 +385,12 @@ func runClient(o roleOpts) error {
 	if err != nil {
 		return err
 	}
+	ob, err := startObs(name, o.metricsAddr, o.traceOut, o.queueWarn, obs.Default())
+	if err != nil {
+		return err
+	}
+	ob.setReady()
+	defer ob.shutdown()
 
 	var (
 		endorsers []client.Endorser

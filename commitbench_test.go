@@ -19,6 +19,7 @@ import (
 	"fabriccrdt/internal/cryptoid"
 	"fabriccrdt/internal/endorse"
 	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/obs"
 	"fabriccrdt/internal/orderer"
 	"fabriccrdt/internal/peer"
 )
@@ -173,6 +174,38 @@ type commitBenchEntry struct {
 	ConflictRate int     `json:"conflict_rate,omitempty"`
 	NsPerBlock   int64   `json:"ns_per_block"`
 	TxPerSec     float64 `json:"tx_per_s"`
+	// Registry snapshots: the last measured peer's obs counters at the end
+	// of the run — blocks committed, transactions finalized (committed +
+	// rejected), the finalize scheduler's observed conflicted-transaction
+	// share, and the process-global healed deliver-retry count. Omitted on
+	// entries predating the metrics registry.
+	ObsBlocks       int64   `json:"obs_blocks,omitempty"`
+	ObsTxs          int64   `json:"obs_txs,omitempty"`
+	ObsConflictRate float64 `json:"obs_conflict_rate,omitempty"`
+	ObsRetries      int64   `json:"obs_retries,omitempty"`
+}
+
+// obsSnapshot copies the peer's registry counters into the entry. The
+// registry outlives Close, so benchmarks that close their peers per
+// iteration still snapshot the last one. Not part of benchKey — snapshots
+// are payload, not configuration identity.
+func (e commitBenchEntry) obsSnapshot(p *peer.Peer) commitBenchEntry {
+	reg := p.Metrics()
+	if v, ok := reg.Total(obs.MetricPeerBlocksCommitted); ok {
+		e.ObsBlocks = int64(v)
+	}
+	if v, ok := reg.Total(obs.MetricPeerTxsCommitted); ok {
+		e.ObsTxs = int64(v)
+	}
+	if conflicted, ok := reg.Total(obs.MetricSchedConflicted); ok {
+		if txs, ok := reg.Total(obs.MetricSchedTxs); ok && txs > 0 {
+			e.ObsConflictRate = conflicted / txs
+		}
+	}
+	if v, ok := obs.Default().Total(obs.MetricDeliverRetries); ok {
+		e.ObsRetries = int64(v)
+	}
+	return e
 }
 
 var (
@@ -312,7 +345,7 @@ func BenchmarkCommitPipeline(b *testing.B) {
 					recordCommitBench(b, commitBenchEntry{
 						CRDT: enableCRDT, Backend: backendName, Shards: shards, BlockTxs: blockTxs, Workers: workers,
 						NsPerBlock: nsPerBlock, TxPerSec: txPerSec,
-					})
+					}.obsSnapshot(lastPeer))
 				})
 			}
 		}
@@ -355,10 +388,12 @@ func BenchmarkCommitBackends(b *testing.B) {
 	for _, backend := range backends {
 		b.Run(fmt.Sprintf("backend=%s", backend.label), func(b *testing.B) {
 			var total time.Duration
+			var lastPeer *peer.Peer
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				p := fix.newPeer(b, backend.cfg(b))
+				lastPeer = p
 				b.StartTimer()
 				start := time.Now()
 				res, err := p.CommitBlock(block)
@@ -382,7 +417,7 @@ func BenchmarkCommitBackends(b *testing.B) {
 				CRDT: true, Backend: backend.backend, Shards: backend.shards,
 				PersistBlocks: backend.persistBlocks, BlockTxs: blockTxs, Workers: workers,
 				NsPerBlock: nsPerBlock, TxPerSec: txPerSec,
-			})
+			}.obsSnapshot(lastPeer))
 		})
 	}
 }
@@ -455,6 +490,7 @@ func BenchmarkCommitAsync(b *testing.B) {
 	fix := newCommitFixture(b, true)
 	blocks := fix.endorsedStream(b, nBlocks, blockTxs)
 	runs := make(map[int][]time.Duration, len(depths))
+	lastPeers := make(map[int]*peer.Peer, len(depths))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Depths are interleaved within each iteration (not one
@@ -467,6 +503,7 @@ func BenchmarkCommitAsync(b *testing.B) {
 				Workers: 1, Pipeline: depth,
 				Backend: peer.BackendDisk, DataDir: b.TempDir(), SyncEveryApply: true,
 			})
+			lastPeers[depth] = p
 			deliver := make(chan *ledger.Block, len(blocks))
 			for _, blk := range blocks {
 				deliver <- blk
@@ -500,7 +537,7 @@ func BenchmarkCommitAsync(b *testing.B) {
 			CRDT: true, Backend: peer.BackendDisk, PersistBlocks: true, Pipeline: depth,
 			BlockTxs: blockTxs, Workers: 1,
 			NsPerBlock: nsPerBlock, TxPerSec: txPerSec,
-		})
+		}.obsSnapshot(lastPeers[depth]))
 	}
 }
 
@@ -615,7 +652,7 @@ func BenchmarkCommitFinalize(b *testing.B) {
 					CRDT: true, Backend: peer.BackendMemory, BlockTxs: blockTxs,
 					Workers: workers, FinalizeWorkers: fw, ConflictRate: conflictPct,
 					NsPerBlock: nsPerBlock, TxPerSec: txPerSec,
-				})
+				}.obsSnapshot(lastPeer))
 			})
 		}
 	}
@@ -644,10 +681,12 @@ func BenchmarkCommitChannels(b *testing.B) {
 		b.Run(fmt.Sprintf("channels=%d", nCh), func(b *testing.B) {
 			cfg := peer.CommitterConfig{Workers: 1}
 			var total time.Duration
+			var lastPeer *peer.Peer
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				p := fix.newPeer(b, cfg)
+				lastPeer = p
 				b.StartTimer()
 				start := time.Now()
 				var wg sync.WaitGroup
@@ -680,7 +719,7 @@ func BenchmarkCommitChannels(b *testing.B) {
 				CRDT: true, Backend: peer.BackendMemory, Channels: nCh,
 				BlockTxs: blockTxs, Workers: 1,
 				NsPerBlock: nsPerRound, TxPerSec: aggTxPerSec,
-			})
+			}.obsSnapshot(lastPeer))
 		})
 	}
 }

@@ -97,6 +97,25 @@ type Store struct {
 	// end in a torn frame, and a frame written after it would be silently
 	// dropped by the next open's tail truncation.
 	broken bool
+	// I/O accounting surfaced via Stats (mu held for writes).
+	appends int64
+	fsyncs  int64
+}
+
+// Stats is the store's I/O accounting, scraped into the obs metrics
+// endpoint.
+type Stats struct {
+	LogBytes int64
+	Appends  int64
+	Fsyncs   int64
+}
+
+// Stats reports the current log size and lifetime append/fsync counts
+// (fsyncs include the sidecar-index installs).
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{LogBytes: s.size, Appends: s.appends, Fsyncs: s.fsyncs}
 }
 
 // Exists reports whether dir already holds a block log — a cheap probe
@@ -183,9 +202,11 @@ func (s *Store) Append(b *ledger.Block) error {
 			s.broken = true
 			return fmt.Errorf("blockstore: syncing log: %w", err)
 		}
+		s.fsyncs++
 	}
 	s.offsets = append(s.offsets, s.size)
 	s.size += int64(len(frame))
+	s.appends++
 	s.appendsSinceIdx++
 	if s.appendsSinceIdx >= idxEvery {
 		// Best-effort: a failed sidecar write only costs the next open a
@@ -249,6 +270,7 @@ func (s *Store) Sync() error {
 		s.broken = true
 		return fmt.Errorf("blockstore: syncing log: %w", err)
 	}
+	s.fsyncs++
 	return nil
 }
 
@@ -365,6 +387,7 @@ func (s *Store) writeIndexLocked() error {
 	if err := s.log.Sync(); err != nil {
 		return fmt.Errorf("blockstore: syncing log before index: %w", err)
 	}
+	s.fsyncs++
 	tmp := filepath.Join(s.dir, idxFileName+".tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"fabriccrdt/internal/cryptoid"
 	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/obs"
 	"fabriccrdt/internal/peer"
 	"fabriccrdt/internal/rwset"
 )
@@ -220,12 +221,23 @@ func (c *Client) prepare(chaincodeName string, args [][]byte) (*ledger.Transacti
 	if err != nil {
 		return nil, err
 	}
+	// Tracing: the client mints the trace ID here, at the very start of the
+	// transaction lifecycle; it rides the proposal to endorsers and the
+	// envelope through ordering to every committing peer. Zero cost when
+	// tracing is off — no ID is minted and every downstream span site
+	// no-ops on the empty string.
+	var traceID string
+	start := time.Now()
+	if obs.TracingEnabled() {
+		traceID = obs.NewTraceID()
+	}
 	prop := peer.Proposal{
 		TxID:      c.NewTxID(),
 		ChannelID: c.channelID,
 		Chaincode: chaincodeName,
 		Args:      args,
 		Creator:   creator,
+		TraceID:   traceID,
 	}
 
 	// Execution phase: submit the proposal to all endorsers in parallel
@@ -295,6 +307,7 @@ func (c *Client) prepare(chaincodeName string, args [][]byte) (*ledger.Transacti
 		Creator:   creator,
 		Args:      args,
 		RWSet:     agreed,
+		TraceID:   traceID,
 	}
 	for _, resp := range responses {
 		tx.Endorsements = append(tx.Endorsements, ledger.Endorsement{
@@ -302,5 +315,8 @@ func (c *Client) prepare(chaincodeName string, args [][]byte) (*ledger.Transacti
 			Signature: resp.Signature,
 		})
 	}
+	obs.Trace(traceID, "client.prepare", start,
+		"client", c.signer.Name, "txID", tx.ID, "channel", channelID,
+		"chaincode", chaincodeName)
 	return tx, nil
 }

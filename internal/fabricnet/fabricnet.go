@@ -43,6 +43,7 @@ import (
 	"fabriccrdt/internal/cryptoid"
 	"fabriccrdt/internal/endorse"
 	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/obs"
 	"fabriccrdt/internal/orderer"
 	"fabriccrdt/internal/peer"
 	"fabriccrdt/internal/transport"
@@ -126,6 +127,7 @@ type Network struct {
 	channels  *channel.Registry
 	histories map[string]*transport.History
 	node      *transport.Node
+	reg       *obs.Registry
 
 	mu      sync.Mutex
 	started bool
@@ -153,6 +155,7 @@ func New(cfg Config) (*Network, error) {
 		msp:       cryptoid.NewMSP(),
 		channels:  registry,
 		histories: make(map[string]*transport.History),
+		reg:       obs.NewRegistry(),
 	}
 	for _, org := range cfg.Orgs {
 		ca, err := cryptoid.NewCA(org.MSPID)
@@ -235,6 +238,18 @@ func New(cfg Config) (*Network, error) {
 			return nil, fmt.Errorf("fabricnet: %w", err)
 		}
 		broadcasts[id] = svc
+		// Delivery-plane gauges: the orderer fan-out queues and the History
+		// cursors are the network's only unbounded buffers; both are read
+		// live at scrape time (zero cost on the commit path).
+		svc.SetLabel(id)
+		h := n.histories[id]
+		h.SetLabel(id)
+		n.reg.GaugeFunc(obs.MetricOrdererQueueDepth,
+			func() float64 { return float64(svc.QueueDepth()) }, "channel", id)
+		n.reg.GaugeFunc(obs.MetricHistoryLagBlocks,
+			func() float64 { return float64(h.MaxLag()) }, "channel", id)
+		n.reg.GaugeFunc(obs.MetricHistoryStreams,
+			func() float64 { return float64(h.Streams()) }, "channel", id)
 	}
 	n.node = &transport.Node{
 		NodeInfo:   transport.Info{Name: "fabricnet", Channels: registry.IDs()},
@@ -249,6 +264,22 @@ func New(cfg Config) (*Network, error) {
 // ordering services. Tests serve it over a wire.Server to put the whole
 // network behind real sockets.
 func (n *Network) Node() *transport.Node { return n.node }
+
+// Metrics returns the network's own registry (delivery-plane gauges). Most
+// callers want Registries, the full exposition set.
+func (n *Network) Metrics() *obs.Registry { return n.reg }
+
+// Registries returns every registry an exposition of this network should
+// merge: the process-global Default registry (wire/transport counters),
+// the network's delivery-plane gauges, and each peer's commit-path
+// registry. Hand the slice to obs.Render or obs.NewServer.
+func (n *Network) Registries() []*obs.Registry {
+	regs := []*obs.Registry{obs.Default(), n.reg}
+	for _, p := range n.peers {
+		regs = append(regs, p.Metrics())
+	}
+	return regs
+}
 
 // Peers returns all peers (ordered by organization, then index).
 func (n *Network) Peers() []*peer.Peer { return n.peers }

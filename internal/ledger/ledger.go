@@ -111,6 +111,11 @@ type Transaction struct {
 	// SubmitUnixNano is the client submission time used by the metrics
 	// pipeline (Caliper measures latency from submission to commit).
 	SubmitUnixNano int64 `json:"submitUnixNano,omitempty"`
+	// TraceID joins this transaction's spans across processes (obs
+	// tracing); minted at client.Prepare when tracing is enabled, empty
+	// otherwise. Deliberately outside EndorsementPayload: the trace
+	// annotation is not part of what endorsers attest to.
+	TraceID string `json:"traceID,omitempty"`
 }
 
 // EndorsementPayload returns the byte string endorsers sign: everything the
@@ -166,6 +171,11 @@ type BlockMetadata struct {
 	ValidationCodes []ValidationCode `json:"validationCodes,omitempty"`
 	// CutReason records why the orderer cut the block (size/bytes/timeout).
 	CutReason string `json:"cutReason,omitempty"`
+	// TraceIDs mirrors the transactions' trace IDs (one entry per
+	// transaction, empty strings for untraced ones) so tooling can follow
+	// traces without decoding transaction bodies. Only set when at least
+	// one transaction in the block is traced.
+	TraceIDs []string `json:"traceIDs,omitempty"`
 }
 
 // Block is an ordered batch of transactions.

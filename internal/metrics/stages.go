@@ -1,89 +1,16 @@
 package metrics
 
-import (
-	"fmt"
-	"strings"
-	"sync"
-	"time"
-)
+import "time"
 
-// StageTimings accumulates per-stage latencies of a staged pipeline (the
-// peer's commit pipeline records one observation per stage per block).
-// Safe for concurrent use; stages are reported in first-observed order.
-type StageTimings struct {
-	mu    sync.Mutex
-	order []string
-	agg   map[string]*stageAgg
-}
-
-type stageAgg struct {
-	count int
-	total time.Duration
-	max   time.Duration
-}
-
-// NewStageTimings returns an empty accumulator.
-func NewStageTimings() *StageTimings {
-	return &StageTimings{agg: make(map[string]*stageAgg)}
-}
-
-// Observe records one run of a stage.
-func (t *StageTimings) Observe(stage string, d time.Duration) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	a, ok := t.agg[stage]
-	if !ok {
-		a = &stageAgg{}
-		t.agg[stage] = a
-		t.order = append(t.order, stage)
-	}
-	a.count++
-	a.total += d
-	if d > a.max {
-		a.max = d
-	}
-}
-
-// Time runs fn and records its wall-clock duration under stage.
-func (t *StageTimings) Time(stage string, fn func()) {
-	start := time.Now()
-	fn()
-	t.Observe(stage, time.Since(start))
-}
-
-// StageSummary is the aggregate of one stage's observations.
+// StageSummary is the aggregate of one pipeline stage's latency
+// observations, as reported by Peer.CommitTimings. Since the telemetry
+// layer (internal/obs) became the single source of stage timings, this is
+// a pure report type: the numbers are read out of the same registry
+// histograms the /metrics endpoint serves.
 type StageSummary struct {
 	Stage string
 	Count int
 	Total time.Duration
 	Avg   time.Duration
 	Max   time.Duration
-}
-
-// Summaries returns one summary per stage in first-observed order.
-func (t *StageTimings) Summaries() []StageSummary {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]StageSummary, 0, len(t.order))
-	for _, stage := range t.order {
-		a := t.agg[stage]
-		s := StageSummary{Stage: stage, Count: a.count, Total: a.total, Max: a.max}
-		if a.count > 0 {
-			s.Avg = a.total / time.Duration(a.count)
-		}
-		out = append(out, s)
-	}
-	return out
-}
-
-// String renders the summaries in one line, e.g. for benchmark logs.
-func (t *StageTimings) String() string {
-	var b strings.Builder
-	for i, s := range t.Summaries() {
-		if i > 0 {
-			b.WriteString(" ")
-		}
-		fmt.Fprintf(&b, "%s=%v(n=%d)", s.Stage, s.Avg, s.Count)
-	}
-	return b.String()
 }

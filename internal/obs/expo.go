@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// snapshotSeries is one rendered-ready series: its label signature and
+// either a scalar value or a histogram snapshot.
+type snapshotSeries struct {
+	labels string
+	value  float64
+
+	hist      bool
+	buckets   []int64 // cumulative, one per histBounds entry, then +Inf
+	histSum   float64
+	histCount int64
+}
+
+// snapshotFamily is a family captured under the registry lock.
+type snapshotFamily struct {
+	name   string
+	kind   kind
+	series []snapshotSeries
+}
+
+// snapshot captures every family of the registry. Callback metrics are
+// evaluated outside the lock, so a GaugeFunc may itself take other locks.
+func (r *Registry) snapshot() []snapshotFamily {
+	type pending struct {
+		fam int
+		ser int
+		fn  func() float64
+	}
+	r.mu.Lock()
+	fams := make([]snapshotFamily, 0, len(r.families))
+	var deferred []pending
+	for _, f := range r.families {
+		sf := snapshotFamily{name: f.name, kind: f.kind}
+		for _, s := range f.series {
+			ss := snapshotSeries{labels: s.labels}
+			switch {
+			case s.fn != nil:
+				deferred = append(deferred, pending{fam: len(fams), ser: len(sf.series), fn: s.fn})
+			case s.his != nil:
+				ss.hist = true
+				ss.buckets = make([]int64, len(s.his.counts))
+				var cum int64
+				for i := range s.his.counts {
+					cum += s.his.counts[i].Load()
+					ss.buckets[i] = cum
+				}
+				ss.histSum = s.his.Sum().Seconds()
+				ss.histCount = s.his.Count()
+			default:
+				ss.value = s.value()
+			}
+			sf.series = append(sf.series, ss)
+		}
+		fams = append(fams, sf)
+	}
+	r.mu.Unlock()
+	for _, p := range deferred {
+		fams[p.fam].series[p.ser].value = p.fn()
+	}
+	return fams
+}
+
+// Render writes the merged exposition of the given registries in
+// Prometheus text format: families sorted by name (a family appearing in
+// several registries is emitted once, its series concatenated), series
+// sorted by label signature. Registries sharing a family name must agree
+// on its kind.
+func Render(w io.Writer, regs ...*Registry) error {
+	merged := make(map[string]*snapshotFamily)
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		for _, f := range r.snapshot() {
+			f := f
+			m := merged[f.name]
+			if m == nil {
+				merged[f.name] = &f
+				continue
+			}
+			if m.kind != f.kind {
+				return fmt.Errorf("obs: metric %q rendered as both %s and %s", f.name, m.kind, f.kind)
+			}
+			m.series = append(m.series, f.series...)
+		}
+	}
+	names := make([]string, 0, len(merged))
+	for name := range merged {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		f := merged[name]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			if !s.hist {
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, braced(s.labels), formatValue(s.value))
+				continue
+			}
+			for i, cum := range s.buckets {
+				le := "+Inf"
+				if i < len(histBounds) {
+					le = formatValue(histBounds[i])
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, braced(withLE(s.labels, le)), cum)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, braced(s.labels), formatValue(s.histSum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", f.name, braced(s.labels), s.histCount)
+		}
+	}
+	return bw.Flush()
+}
+
+// braced wraps a non-empty label signature in { }.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// withLE appends the histogram bucket bound to a label signature.
+func withLE(labels, le string) string {
+	bound := `le="` + le + `"`
+	if labels == "" {
+		return bound
+	}
+	return labels + "," + bound
+}
+
+// formatValue renders a sample value: integers without a fractional part,
+// everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// expoLineRE matches one exposition sample line: a metric name, an
+// optional label set, and a value.
+var expoLineRE = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? ` +
+		`(NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// ValidateExposition checks text for well-formed Prometheus exposition:
+// every non-comment line must be a sample with a parseable value, every
+// sample must be preceded by a # TYPE line for its family, and no family
+// may be typed twice. It is the checker behind `make smoke-multiproc`'s
+// scrape assertion, and obs' own tests run Render output through it.
+func ValidateExposition(text []byte) error {
+	typed := make(map[string]string)
+	sc := bufio.NewScanner(bytes.NewReader(text))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if prev, dup := typed[name]; dup {
+					return fmt.Errorf("line %d: metric %q typed twice (%s, %s)", lineNo, name, prev, typ)
+				}
+				typed[name] = typ
+			}
+			continue
+		}
+		if !expoLineRE.MatchString(line) {
+			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		if !hasType(typed, name) {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE line", lineNo, name)
+		}
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return fmt.Errorf("line %d: unparseable value %q", lineNo, val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("scanning exposition: %w", err)
+	}
+	return nil
+}
+
+// hasType reports whether name (or its histogram/summary base name) has a
+// TYPE declaration.
+func hasType(typed map[string]string, name string) bool {
+	if _, ok := typed[name]; ok {
+		return true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if t := typed[base]; t == "histogram" || t == "summary" {
+				return true
+			}
+		}
+	}
+	return false
+}

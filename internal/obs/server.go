@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the operations endpoint every fabricnet role exposes behind
+// -metrics-addr:
+//
+//	/metrics        merged Prometheus exposition of the given registries
+//	/debug/pprof/*  the standard Go profiling handlers
+//	/healthz        200 while the process is up
+//	/readyz         503 until SetReady — for a peer, until every channel
+//	                has resumed to its durable checkpoint and the wire
+//	                listener is up
+type Server struct {
+	regs  []*Registry
+	ready atomic.Bool
+
+	srv *http.Server
+	lis net.Listener
+}
+
+// NewServer builds an operations server over the given registries (nil
+// entries are skipped at render time).
+func NewServer(regs ...*Registry) *Server {
+	s := &Server{regs: regs}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.ready.Load() {
+			http.Error(w, "starting", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := Render(w, s.regs...); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// SetReady flips /readyz to 200.
+func (s *Server) SetReady() { s.ready.Store(true) }
+
+// Listen binds addr (":0" picks a free port) and serves in the
+// background, returning the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	s.lis = lis
+	go s.srv.Serve(lis) //nolint:errcheck // Serve returns on Close
+	return lis.Addr(), nil
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	if s.lis == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

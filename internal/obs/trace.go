@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one recorded hop of a traced transaction: which process did
+// what, when, and for how long. Spans from different processes are joined
+// by TraceID after the fact; clocks are only compared within one process.
+type Span struct {
+	TraceID string            `json:"trace"`
+	Name    string            `json:"name"`
+	Process string            `json:"process"`
+	Start   time.Time         `json:"start"`
+	Dur     time.Duration     `json:"dur"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer collects spans for one process. Recording is append-under-mutex;
+// tracing is meant for diagnosis runs (-trace-out), not steady state, so
+// the tracer favors simplicity over a lock-free ring.
+type Tracer struct {
+	process string
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTracer returns a tracer stamping spans with the given process label
+// (e.g. "peer/Org1.peer0").
+func NewTracer(process string) *Tracer {
+	return &Tracer{process: process}
+}
+
+// Record appends a span running from start to now. Attrs are "key",
+// "value" pairs. Nil-safe and a no-op for an empty trace ID, so call
+// sites don't need their own guards.
+func (t *Tracer) Record(traceID, name string, start time.Time, attrs ...string) {
+	if t == nil || traceID == "" {
+		return
+	}
+	sp := Span{
+		TraceID: traceID,
+		Name:    name,
+		Process: t.process,
+		Start:   start,
+		Dur:     time.Since(start),
+	}
+	if len(attrs) > 0 {
+		sp.Attrs = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			sp.Attrs[attrs[i]] = attrs[i+1]
+		}
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of everything recorded so far.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto, speedscope all load it).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the recorded spans as Chrome trace-event JSON:
+// one complete ("X") event per span with the trace ID as its category and
+// in its args, plus a process_name metadata event so viewers label the
+// lane with the tracer's process string.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	pid := os.Getpid()
+	events := make([]chromeEvent, 0, len(spans)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]string{"name": t.process},
+	})
+	for _, sp := range spans {
+		args := map[string]string{"trace": sp.TraceID, "process": sp.Process}
+		for k, v := range sp.Attrs {
+			args[k] = v
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name,
+			Cat:  sp.TraceID,
+			Ph:   "X",
+			Ts:   float64(sp.Start.UnixNano()) / 1e3,
+			Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
+			Pid:  pid,
+			Tid:  1,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// WriteFile dumps the Chrome trace-event JSON to path (the -trace-out
+// shutdown path).
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: creating trace file: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing trace file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: closing trace file: %w", err)
+	}
+	return nil
+}
+
+// ParseChromeTrace reads a file written by WriteChromeTrace back into
+// spans (trace-propagation tests join files from several processes).
+// Metadata events are skipped; the span Process comes from the event args.
+func ParseChromeTrace(data []byte) ([]Span, error) {
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("obs: parsing chrome trace: %w", err)
+	}
+	var spans []Span
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		sp := Span{
+			TraceID: ev.Cat,
+			Name:    ev.Name,
+			Start:   time.Unix(0, int64(ev.Ts*1e3)),
+			Dur:     time.Duration(ev.Dur * 1e3),
+		}
+		if ev.Args != nil {
+			sp.Process = ev.Args["process"]
+			sp.Attrs = ev.Args
+		}
+		spans = append(spans, sp)
+	}
+	return spans, nil
+}
+
+// defaultTracer is the process-global tracer; nil means tracing is off
+// and every Trace call is a single atomic load.
+var defaultTracer atomic.Pointer[Tracer]
+
+// EnableTracing installs a process-global tracer labeled with process and
+// returns it. Call once at startup when -trace-out is set.
+func EnableTracing(process string) *Tracer {
+	t := NewTracer(process)
+	defaultTracer.Store(t)
+	return t
+}
+
+// SetDefaultTracer installs (or, with nil, removes) the process-global
+// tracer — the test hook for in-process trace assertions.
+func SetDefaultTracer(t *Tracer) { defaultTracer.Store(t) }
+
+// TracingEnabled reports whether a process-global tracer is installed.
+// Instrumented paths gate on this so disabled tracing costs one atomic
+// load.
+func TracingEnabled() bool { return defaultTracer.Load() != nil }
+
+// Trace records a span on the process-global tracer; a no-op when tracing
+// is disabled or traceID is empty.
+func Trace(traceID, name string, start time.Time, attrs ...string) {
+	defaultTracer.Load().Record(traceID, name, start, attrs...)
+}
+
+// NewTraceID mints a 16-hex-character random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of; fall back to a fixed marker
+		// rather than plumbing an error through every Prepare call.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}

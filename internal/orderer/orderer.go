@@ -13,10 +13,12 @@ package orderer
 
 import (
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
 	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/obs"
 )
 
 // Config mirrors Fabric's BatchSize/BatchTimeout orderer configuration.
@@ -170,11 +172,26 @@ func NewAssemblerAt(afterNumber uint64, afterHash []byte) *Assembler {
 	}
 }
 
-// Assemble builds the next block from a batch.
+// Assemble builds the next block from a batch. When any batched
+// transaction carries a trace ID, the block metadata records the full
+// per-transaction ID column (empty strings for untraced slots) so the
+// trace survives re-serialization on the wire — metadata is not covered
+// by the data hash, and the IDs were already inside it anyway via the
+// transaction bodies.
 func (a *Assembler) Assemble(batch Batch) (*ledger.Block, error) {
 	dataHash, err := ledger.ComputeDataHash(batch.Transactions)
 	if err != nil {
 		return nil, err
+	}
+	var traceIDs []string
+	for i, tx := range batch.Transactions {
+		if tx.TraceID == "" {
+			continue
+		}
+		if traceIDs == nil {
+			traceIDs = make([]string, len(batch.Transactions))
+		}
+		traceIDs[i] = tx.TraceID
 	}
 	b := &ledger.Block{
 		Header: ledger.BlockHeader{
@@ -186,6 +203,7 @@ func (a *Assembler) Assemble(batch Batch) (*ledger.Block, error) {
 		Metadata: ledger.BlockMetadata{
 			ValidationCodes: make([]ledger.ValidationCode, len(batch.Transactions)),
 			CutReason:       string(batch.Reason),
+			TraceIDs:        traceIDs,
 		},
 	}
 	a.nextNumber++
@@ -216,6 +234,12 @@ type Service struct {
 	subs      []*subscription
 	timer     *time.Timer
 	stopped   bool
+	label     string
+	// tracedAt remembers when each traced transaction entered Broadcast so
+	// emit can record an orderer.order span spanning queueing + batching.
+	// Entries are deleted on emit and swept on Stop; the map only ever
+	// holds transactions whose batch has not been cut yet.
+	tracedAt map[string]time.Time
 }
 
 // subscription is one subscriber's delivery state: the handoff queue emit
@@ -235,15 +259,26 @@ func newSubscription() *subscription {
 	return s
 }
 
-// push appends a block to the handoff queue. It never blocks (the queue is
-// a slice), which is what keeps the service's emit safe under its mutex.
-func (s *subscription) push(b *ledger.Block) {
+// push appends a block to the handoff queue and returns the resulting
+// depth (0 when closed). It never blocks (the queue is a slice), which is
+// what keeps the service's emit safe under its mutex.
+func (s *subscription) push(b *ledger.Block) int {
 	s.mu.Lock()
+	depth := 0
 	if !s.closed {
 		s.queue = append(s.queue, b)
+		depth = len(s.queue)
 		s.cond.Signal()
 	}
 	s.mu.Unlock()
+	return depth
+}
+
+// depth returns the current handoff-queue length.
+func (s *subscription) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
 }
 
 // close marks the subscription finished: the forwarder delivers what is
@@ -302,6 +337,28 @@ func NewServiceAt(cfg Config, afterNumber uint64, afterHash []byte) *Service {
 // ErrStopped reports a broadcast to a stopped service.
 var ErrStopped = errors.New("orderer: service stopped")
 
+// SetLabel names the service (normally its channel ID) in queue high-water
+// warnings and trace spans. Call before serving traffic.
+func (s *Service) SetLabel(label string) {
+	s.mu.Lock()
+	s.label = label
+	s.mu.Unlock()
+}
+
+// QueueDepth returns the total number of blocks sitting in subscriber
+// handoff queues — the service's only unbounded buffers. Intended as a
+// scrape-time gauge callback.
+func (s *Service) QueueDepth() int {
+	s.mu.Lock()
+	subs := append([]*subscription(nil), s.subs...)
+	s.mu.Unlock()
+	total := 0
+	for _, sub := range subs {
+		total += sub.depth()
+	}
+	return total
+}
+
 // Subscribe registers a deliver channel; all blocks cut after the call are
 // sent to it, in order, by a dedicated forwarder goroutine over an
 // unbounded handoff queue. A slow subscriber lags behind (its queue grows
@@ -333,6 +390,12 @@ func (s *Service) Broadcast(tx *ledger.Transaction) error {
 	defer s.mu.Unlock()
 	if s.stopped {
 		return ErrStopped
+	}
+	if tx.TraceID != "" && obs.TracingEnabled() {
+		if s.tracedAt == nil {
+			s.tracedAt = make(map[string]time.Time)
+		}
+		s.tracedAt[tx.TraceID] = time.Now()
 	}
 	batches, err := s.cutter.Ordered(tx)
 	if err != nil {
@@ -389,8 +452,21 @@ func (s *Service) emit(batch Batch) error {
 	if err != nil {
 		return err
 	}
+	if len(s.tracedAt) > 0 {
+		num := strconv.FormatUint(block.Header.Number, 10)
+		for _, tx := range block.Transactions {
+			start, ok := s.tracedAt[tx.TraceID]
+			if !ok {
+				continue
+			}
+			delete(s.tracedAt, tx.TraceID)
+			obs.Trace(tx.TraceID, "orderer.order", start,
+				"channel", s.label, "txID", tx.ID,
+				"block", num, "reason", string(batch.Reason))
+		}
+	}
 	for _, sub := range s.subs {
-		sub.push(block)
+		obs.WarnQueueDepth("orderer_fanout", s.label, sub.push(block))
 	}
 	return nil
 }
@@ -421,6 +497,7 @@ func (s *Service) Stop() {
 		_ = s.emit(s.cutter.Cut(CutFlush))
 	}
 	s.stopped = true
+	s.tracedAt = nil
 	if s.timer != nil {
 		s.timer.Stop()
 		s.timer = nil

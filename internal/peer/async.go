@@ -48,6 +48,7 @@ func (p *Peer) CommitPipeline(channelID string, deliver <-chan *ledger.Block, de
 		return firstErr
 	}
 
+	cm := p.channelMetricsFor(channelID)
 	prepared := make(chan *PreparedBlock, depth)
 	var failed atomic.Bool
 	var finalizeErr error
@@ -76,7 +77,7 @@ func (p *Peer) CommitPipeline(channelID string, deliver <-chan *ledger.Block, de
 			// have to wait for ran hidden behind earlier blocks' commit
 			// work — the pipelining payoff, visible in CommitTimings.
 			if hidden := prep.prepDur - stalled; hidden > 0 {
-				p.timings.Observe(StageOverlap, hidden)
+				cm.observe(StageOverlap, hidden)
 			}
 			if _, err := p.FinalizeBlockOn(prep); err != nil {
 				finalizeErr = err

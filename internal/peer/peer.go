@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"fabriccrdt/internal/chaincode"
 	"fabriccrdt/internal/channel"
@@ -42,6 +43,7 @@ import (
 	"fabriccrdt/internal/endorse"
 	"fabriccrdt/internal/ledger"
 	"fabriccrdt/internal/metrics"
+	"fabriccrdt/internal/obs"
 	"fabriccrdt/internal/rwset"
 	"fabriccrdt/internal/statedb"
 )
@@ -56,6 +58,9 @@ type Proposal struct {
 	Args      [][]byte
 	// Creator is the serialized identity of the submitting client.
 	Creator []byte
+	// TraceID carries the client's obs trace ID (empty when tracing is
+	// off) so the endorsing hop records a span under the same trace.
+	TraceID string
 }
 
 // ProposalResponse is one endorser's signed simulation result.
@@ -146,15 +151,54 @@ type Peer struct {
 	channelIDs []string
 	channels   map[string]*channel.Runtime
 
-	// timings aggregates commit-stage latencies across all channels (the
-	// accumulator is concurrency-safe; channels commit in parallel).
-	timings *metrics.StageTimings
+	// reg is the peer's metrics registry: per-(channel,stage) commit
+	// histograms, block/transaction counters, height, store and
+	// event-queue gauges — everything the -metrics-addr endpoint serves
+	// for this peer, and the single source CommitTimings reads from. Each
+	// peer owns its registry so multi-peer processes (fabricnet, tests)
+	// keep their series apart; serve them merged via obs.Render.
+	reg *obs.Registry
+	// cm holds each channel's registered instruments; read-only after New,
+	// so the commit hot path observes without locks.
+	cm map[string]*channelMetrics
 	// sched aggregates the dependency scheduler's conflict-structure
-	// counters across all channels (pipeline.go).
+	// counters across all channels (pipeline.go); mirrored into reg as
+	// scrape-time counter callbacks.
 	sched *metrics.Counters
 
 	eventMu   sync.RWMutex
 	listeners []*eventSub
+}
+
+// channelMetrics is one channel's registered commit instruments.
+type channelMetrics struct {
+	// stages maps stage name → latency histogram (the commitStages set,
+	// built once at New).
+	stages map[string]*obs.Histogram
+	// blocks counts committed blocks; txOK/txRejected count transactions
+	// by commit outcome.
+	blocks     *obs.Counter
+	txOK       *obs.Counter
+	txRejected *obs.Counter
+}
+
+// observe records one stage latency.
+func (cm *channelMetrics) observe(stage string, d time.Duration) {
+	if cm == nil {
+		return
+	}
+	cm.stages[stage].Observe(d)
+}
+
+// time runs fn and records its wall clock under stage.
+func (cm *channelMetrics) time(stage string, fn func()) {
+	if cm == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	cm.stages[stage].Observe(time.Since(start))
 }
 
 // New creates a peer with its own world state and chain per joined
@@ -205,7 +249,8 @@ func New(cfg Config, signer *cryptoid.Signer, msp *cryptoid.MSP) (*Peer, error) 
 		msp:        msp,
 		channelIDs: append([]string(nil), ids...),
 		channels:   make(map[string]*channel.Runtime, len(ids)),
-		timings:    metrics.NewStageTimings(),
+		reg:        obs.NewRegistry(),
+		cm:         make(map[string]*channelMetrics, len(ids)),
 		sched:      metrics.NewCounters(),
 	}
 	for _, id := range ids {
@@ -216,7 +261,102 @@ func New(cfg Config, signer *cryptoid.Signer, msp *cryptoid.MSP) (*Peer, error) 
 		}
 		p.channels[id] = rt
 	}
+	p.registerMetrics()
 	return p, nil
+}
+
+// registerMetrics builds the peer's registry: stage histograms and commit
+// counters per channel, scrape-time gauges over live state (heights, key
+// counts, store sizes, event-queue depth), and counter mirrors of the
+// scheduler tallies. Registration happens once here; afterwards the
+// registry is only read (scrapes) or updated through atomics.
+func (p *Peer) registerMetrics() {
+	name := p.cfg.Name
+	for _, id := range p.channelIDs {
+		rt := p.channels[id]
+		cm := &channelMetrics{
+			stages:     make(map[string]*obs.Histogram, len(commitStages)),
+			blocks:     p.reg.Counter(obs.MetricPeerBlocksCommitted, "peer", name, "channel", id),
+			txOK:       p.reg.Counter(obs.MetricPeerTxsCommitted, "peer", name, "channel", id, "result", "committed"),
+			txRejected: p.reg.Counter(obs.MetricPeerTxsCommitted, "peer", name, "channel", id, "result", "rejected"),
+		}
+		for _, stage := range commitStages {
+			cm.stages[stage] = p.reg.Histogram(obs.MetricCommitStageSeconds,
+				"peer", name, "channel", id, "stage", stage)
+		}
+		p.cm[id] = cm
+		p.reg.GaugeFunc(obs.MetricPeerBlockHeight,
+			func() float64 { return float64(rt.Height()) }, "peer", name, "channel", id)
+		p.reg.GaugeFunc(obs.MetricStatedbKeys,
+			func() float64 { return float64(rt.DB().KeyCount()) }, "peer", name, "channel", id)
+		if _, durable := rt.DB().Stats(); durable {
+			p.reg.GaugeFunc(obs.MetricStatedbLogBytes, func() float64 {
+				st, _ := rt.DB().Stats()
+				return float64(st.LogBytes)
+			}, "peer", name, "channel", id)
+			p.reg.CounterFunc(obs.MetricStatedbAppends, func() float64 {
+				st, _ := rt.DB().Stats()
+				return float64(st.Appends)
+			}, "peer", name, "channel", id)
+			p.reg.CounterFunc(obs.MetricStatedbFsyncs, func() float64 {
+				st, _ := rt.DB().Stats()
+				return float64(st.Fsyncs)
+			}, "peer", name, "channel", id)
+			p.reg.CounterFunc(obs.MetricStatedbCompactions, func() float64 {
+				st, _ := rt.DB().Stats()
+				return float64(st.Compactions)
+			}, "peer", name, "channel", id)
+		}
+		if bs := rt.Blocks(); bs != nil {
+			p.reg.GaugeFunc(obs.MetricBlockstoreHeight,
+				func() float64 { return float64(bs.Height()) }, "peer", name, "channel", id)
+			p.reg.GaugeFunc(obs.MetricBlockstoreLogBytes,
+				func() float64 { return float64(bs.Stats().LogBytes) }, "peer", name, "channel", id)
+			p.reg.CounterFunc(obs.MetricBlockstoreAppends,
+				func() float64 { return float64(bs.Stats().Appends) }, "peer", name, "channel", id)
+			p.reg.CounterFunc(obs.MetricBlockstoreFsyncs,
+				func() float64 { return float64(bs.Stats().Fsyncs) }, "peer", name, "channel", id)
+		}
+	}
+	p.reg.GaugeFunc(obs.MetricPeerEventQueueDepth,
+		func() float64 { return float64(p.EventBacklog()) }, "peer", name)
+	p.reg.GaugeFunc(obs.MetricPeerEventListeners, func() float64 {
+		p.eventMu.RLock()
+		defer p.eventMu.RUnlock()
+		return float64(len(p.listeners))
+	}, "peer", name)
+	for counter, metric := range map[string]string{
+		CounterSchedBlocks:     obs.MetricSchedBlocks,
+		CounterSchedTxs:        obs.MetricSchedTxs,
+		CounterSchedGroups:     obs.MetricSchedGroups,
+		CounterSchedConflicted: obs.MetricSchedConflicted,
+		CounterSchedEdges:      obs.MetricSchedEdges,
+		CounterSchedWaves:      obs.MetricSchedWaves,
+	} {
+		counter := counter
+		p.reg.CounterFunc(metric,
+			func() float64 { return float64(p.sched.Get(counter)) }, "peer", name)
+	}
+}
+
+// Metrics returns the peer's registry, for serving (merged with the
+// process Default registry) behind -metrics-addr and for test and
+// benchmark readouts.
+func (p *Peer) Metrics() *obs.Registry { return p.reg }
+
+// EventBacklog returns the total number of commit events queued across
+// all listeners' handoff queues — the scrape-time depth of the peer's
+// unbounded event fan-out.
+func (p *Peer) EventBacklog() int {
+	p.eventMu.RLock()
+	defer p.eventMu.RUnlock()
+	total := 0
+	for _, s := range p.listeners {
+		s.mu.Lock()
+		total += len(s.queue)
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // closeRuntimes closes every opened channel runtime, keeping the first
@@ -246,6 +386,16 @@ func (p *Peer) runtime(channelID string) (*channel.Runtime, error) {
 		return nil, fmt.Errorf("%w: %q on peer %s (joined: %v)", ErrUnknownChannel, channelID, p.cfg.Name, p.channelIDs)
 	}
 	return rt, nil
+}
+
+// channelMetricsFor resolves a channel ID (empty means default) to its
+// registry-backed stage metrics; nil for unknown channels, which every
+// channelMetrics method tolerates.
+func (p *Peer) channelMetricsFor(channelID string) *channelMetrics {
+	if channelID == "" {
+		channelID = p.channelIDs[0]
+	}
+	return p.cm[channelID]
 }
 
 // Name returns the peer's name.
@@ -383,6 +533,7 @@ func (p *Peer) lookupChaincode(rt *channel.Runtime, name string) (channel.Instal
 // endorsement phase). The world state is not modified (paper: "peers
 // simulate the transaction proposal").
 func (p *Peer) Endorse(prop Proposal) (ProposalResponse, error) {
+	start := time.Now()
 	rt, err := p.runtime(prop.ChannelID)
 	if err != nil {
 		return ProposalResponse{}, err
@@ -425,6 +576,8 @@ func (p *Peer) Endorse(prop Proposal) (ProposalResponse, error) {
 	if err != nil {
 		return ProposalResponse{}, err
 	}
+	obs.Trace(prop.TraceID, "peer.endorse", start,
+		"peer", p.cfg.Name, "txID", prop.TxID, "channel", prop.ChannelID)
 	return ProposalResponse{
 		Endorser:  endorser,
 		ChannelID: prop.ChannelID,
@@ -465,15 +618,16 @@ func newEventSub() *eventSub {
 	return s
 }
 
-// push enqueues one event; never blocks.
-func (s *eventSub) push(ev CommitEvent) {
+// push enqueues one event and returns the queue depth; never blocks.
+func (s *eventSub) push(ev CommitEvent) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return
+		return 0
 	}
 	s.queue = append(s.queue, ev)
 	s.cond.Signal()
+	return len(s.queue)
 }
 
 // close stops the feed; the forwarder drains what is queued, then closes
@@ -538,7 +692,7 @@ func (p *Peer) emit(ev CommitEvent) {
 	p.eventMu.RLock()
 	defer p.eventMu.RUnlock()
 	for _, s := range p.listeners {
-		s.push(ev)
+		obs.WarnQueueDepth("peer_events", p.cfg.Name, s.push(ev))
 	}
 }
 

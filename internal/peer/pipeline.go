@@ -3,12 +3,14 @@ package peer
 import (
 	"bytes"
 	"fmt"
+	"strconv"
 	"time"
 
 	"fabriccrdt/internal/channel"
 	"fabriccrdt/internal/core"
 	"fabriccrdt/internal/ledger"
 	"fabriccrdt/internal/metrics"
+	"fabriccrdt/internal/obs"
 	"fabriccrdt/internal/parallel"
 	"fabriccrdt/internal/rwset"
 	"fabriccrdt/internal/statedb"
@@ -80,12 +82,45 @@ const (
 	StageOverlap  = "overlap"   // prepare time hidden behind the previous finalize
 )
 
+// commitStages is the canonical stage order: every stage gets a registry
+// histogram per channel at New, and CommitTimings reports in this order.
+var commitStages = []string{
+	StageDecode, StageEndorse, StagePrepare,
+	StageDedup, StageSchedule, StageMerge, StageMVCC, StageMVCCWave,
+	StageApply, StageAppend, StageFinalize, StageOverlap,
+}
+
 // CommitTimings returns per-stage latency aggregates over every block this
-// peer has committed — on all channels — in pipeline order. Every entry is
+// peer has committed — on all channels — in pipeline order, read from the
+// same registry histograms the -metrics-addr endpoint serves (one source
+// of truth; the old side-band stage accumulator is gone). Every entry is
 // wall clock of that stage alone; see CommitAggregate for totals that are
-// safe to add up.
+// safe to add up. Stages with no observations are omitted.
 func (p *Peer) CommitTimings() []metrics.StageSummary {
-	return p.timings.Summaries()
+	out := make([]metrics.StageSummary, 0, len(commitStages))
+	for _, stage := range commitStages {
+		var count int64
+		var total, max time.Duration
+		for _, id := range p.channelIDs {
+			h := p.cm[id].stages[stage]
+			count += h.Count()
+			total += h.Sum()
+			if m := h.Max(); m > max {
+				max = m
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		out = append(out, metrics.StageSummary{
+			Stage: stage,
+			Count: int(count),
+			Total: total,
+			Avg:   total / time.Duration(count),
+			Max:   max,
+		})
+	}
+	return out
 }
 
 // CommitAggregate is the double-counting-free rollup of CommitTimings.
@@ -118,7 +153,7 @@ var aggregateCPUStages = map[string]bool{
 // what the stages worked.
 func (p *Peer) CommitAggregate() CommitAggregate {
 	var agg CommitAggregate
-	for _, s := range p.timings.Summaries() {
+	for _, s := range p.CommitTimings() {
 		switch {
 		case s.Stage == StagePrepare || s.Stage == StageFinalize:
 			agg.Wall += s.Total
@@ -235,8 +270,9 @@ func (p *Peer) PrepareBlockOn(channelID string, block *ledger.Block) (*PreparedB
 	if err != nil {
 		return nil, err
 	}
+	cm := p.cm[rt.ID()]
 	var stored, view *ledger.Block
-	p.timings.Time(StageDecode, func() {
+	cm.time(StageDecode, func() {
 		stored, view, err = decodeBlock(block)
 	})
 	if err != nil {
@@ -251,7 +287,7 @@ func (p *Peer) PrepareBlockOn(channelID string, block *ledger.Block) (*PreparedB
 	// re-checks under the commit mutex; the reverse race merely prepares
 	// a block that finalize then fast-forwards, wasting nothing but work.
 	if num := view.Header.Number; num == 0 || num > rt.Height() {
-		p.timings.Time(StageEndorse, func() {
+		cm.time(StageEndorse, func() {
 			// The stateless pre-screen: transactions endorsed for a
 			// different channel or duplicated within this block never
 			// reach signature verification in the synchronous pipeline
@@ -266,7 +302,7 @@ func (p *Peer) PrepareBlockOn(channelID string, block *ledger.Block) (*PreparedB
 		})
 	}
 	prepDur := time.Since(start)
-	p.timings.Observe(StagePrepare, prepDur)
+	cm.observe(StagePrepare, prepDur)
 	return &PreparedBlock{
 		rt:           rt,
 		stored:       stored,
@@ -313,8 +349,9 @@ func (p *Peer) FinalizeBlockOn(prep *PreparedBlock) (CommitResult, error) {
 	}
 
 	finStart := time.Now()
+	cm := p.cm[rt.ID()]
 	codes := make([]ledger.ValidationCode, len(view.Transactions))
-	p.timings.Time(StageDedup, func() {
+	cm.time(StageDedup, func() {
 		markWrongChannel(rt.ID(), view, codes)
 		p.markDuplicates(rt, view, codes)
 		// Adopt the prepared endorsement verdicts for every transaction
@@ -347,7 +384,7 @@ func (p *Peer) FinalizeBlockOn(prep *PreparedBlock) (CommitResult, error) {
 	// behind the durable state, so a crash between the two leaves a
 	// log-ahead gap the next open replays (DESIGN.md §8) — the reverse
 	// order could checkpoint state whose block body is lost forever.
-	p.timings.Time(StageApply, func() {
+	cm.time(StageApply, func() {
 		stored.Metadata.ValidationCodes = codes
 		if bs := rt.Blocks(); bs != nil {
 			if err = bs.Append(stored); err != nil {
@@ -365,22 +402,36 @@ func (p *Peer) FinalizeBlockOn(prep *PreparedBlock) (CommitResult, error) {
 	}
 
 	committed := 0
-	p.timings.Time(StageAppend, func() {
+	cm.time(StageAppend, func() {
 		if err = rt.Chain().Append(stored); err != nil {
 			return
 		}
+		tracing := obs.TracingEnabled()
 		for i, tx := range view.Transactions {
 			if codes[i].Committed() {
 				committed++
+				cm.txOK.Inc()
+			} else {
+				cm.txRejected.Inc()
 			}
 			rt.MarkCommitted(tx.ID)
+			if tracing && tx.TraceID != "" {
+				// The commit span starts at finalize entry, so within this
+				// process it nests inside any span that observed the whole
+				// submit→commit round trip (e.g. gateway.submit).
+				obs.Trace(tx.TraceID, "peer.commit", finStart,
+					"peer", p.cfg.Name, "channel", rt.ID(), "txID", tx.ID,
+					"block", strconv.FormatUint(view.Header.Number, 10),
+					"code", codes[i].String())
+			}
 			p.emit(CommitEvent{TxID: tx.ID, ChannelID: rt.ID(), BlockNum: view.Header.Number, Code: codes[i]})
 		}
 	})
 	if err != nil {
 		return CommitResult{}, fmt.Errorf("peer %s: appending block %d on %s: %w", p.cfg.Name, view.Header.Number, rt.ID(), err)
 	}
-	p.timings.Observe(StageFinalize, time.Since(finStart))
+	cm.blocks.Inc()
+	cm.observe(StageFinalize, time.Since(finStart))
 	return CommitResult{
 		ChannelID:   rt.ID(),
 		BlockNum:    view.Header.Number,
@@ -395,17 +446,18 @@ func (p *Peer) FinalizeBlockOn(prep *PreparedBlock) (CommitResult, error) {
 // delivery order — the committer's definition of correctness, which the
 // scheduled path must match byte for byte.
 func (p *Peer) validateSerial(rt *channel.Runtime, view *ledger.Block, codes []ledger.ValidationCode) (core.Result, error) {
+	cm := p.cm[rt.ID()]
 	var mergeRes core.Result
 	var err error
 	if p.cfg.EnableCRDT {
-		p.timings.Time(StageMerge, func() {
+		cm.time(StageMerge, func() {
 			mergeRes, err = rt.Engine().MergeBlock(view, codes)
 		})
 		if err != nil {
 			return core.Result{}, err
 		}
 	}
-	p.timings.Time(StageMVCC, func() {
+	cm.time(StageMVCC, func() {
 		rt.Validator().ValidateBlock(view.Header.Number, view.Transactions, codes)
 	})
 	return mergeRes, nil
@@ -423,9 +475,10 @@ func (p *Peer) validateSerial(rt *channel.Runtime, view *ledger.Block, codes []l
 // validator), so codes, rewritten write sets and document bytes are
 // byte-identical to validateSerial at any worker count (DESIGN.md §9).
 func (p *Peer) validateScheduled(rt *channel.Runtime, view *ledger.Block, codes []ledger.ValidationCode) (core.Result, error) {
+	cm := p.cm[rt.ID()]
 	workers := p.cfg.Committer.FinalizeWorkers
 	var plan *txgraph.Plan
-	p.timings.Time(StageSchedule, func() {
+	cm.time(StageSchedule, func() {
 		plan = txgraph.Build(view.Transactions, codes, p.cfg.EnableCRDT)
 	})
 	st := plan.Stats
@@ -445,16 +498,16 @@ func (p *Peer) validateScheduled(rt *channel.Runtime, view *ledger.Block, codes 
 	if len(plan.CRDTTxs) > 0 {
 		go func() {
 			defer close(mergeDone)
-			p.timings.Time(StageMerge, func() {
+			cm.time(StageMerge, func() {
 				mergeRes, mergeErr = rt.Engine().MergeCandidates(view, codes, plan.CRDTTxs, workers)
 			})
 		}()
 	} else {
 		close(mergeDone)
 	}
-	p.timings.Time(StageMVCC, func() {
+	cm.time(StageMVCC, func() {
 		rt.Validator().ValidateScheduled(view.Header.Number, view.Transactions, codes, plan.MVCCWaves, workers,
-			func(_ int, d time.Duration) { p.timings.Observe(StageMVCCWave, d) })
+			func(_ int, d time.Duration) { cm.observe(StageMVCCWave, d) })
 	})
 	<-mergeDone
 	if mergeErr != nil {

@@ -56,6 +56,23 @@ type diskBackend struct {
 	// compactBroken stops retrying a failed compaction on every block.
 	compactBroken bool
 	applyErr      error
+	// I/O accounting surfaced via Stats (mu held for writes).
+	appends     int64
+	fsyncs      int64
+	compactions int64
+}
+
+// Stats reports the backend's current log size and lifetime
+// append/fsync/compaction counts.
+func (b *diskBackend) Stats() Stats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return Stats{
+		LogBytes:    b.logSize,
+		Appends:     b.appends,
+		Fsyncs:      b.fsyncs,
+		Compactions: b.compactions,
+	}
 }
 
 // DiskOptions tunes a disk backend.
@@ -302,6 +319,8 @@ func (b *diskBackend) Apply(updates map[string]Update, meta map[string][]byte, h
 			if err := b.log.Sync(); err != nil {
 				b.logBroken = true
 				b.recordErr(err)
+			} else {
+				b.fsyncs++
 			}
 		}
 	}
@@ -339,6 +358,7 @@ func (b *diskBackend) appendFrame(payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("statedb: appending to log: %w", err)
 	}
+	b.appends++
 	return nil
 }
 
@@ -392,6 +412,8 @@ func (b *diskBackend) compactLocked() error {
 		return fmt.Errorf("statedb: rewinding log after compaction: %w", err)
 	}
 	b.logSize = 0
+	b.compactions++
+	b.fsyncs++ // the snapshot temp file's Sync above
 	return nil
 }
 
@@ -434,6 +456,8 @@ func (b *diskBackend) Close() error {
 	b.closed = true
 	if err := b.log.Sync(); err != nil {
 		b.recordErr(err)
+	} else {
+		b.fsyncs++
 	}
 	if err := b.log.Close(); err != nil {
 		b.recordErr(err)

@@ -100,6 +100,25 @@ func (db *DB) KeyCount() int {
 	return db.backend.KeyCount()
 }
 
+// Stats is a durable backend's I/O accounting, scraped into the obs
+// metrics endpoint: current log size plus lifetime append/fsync/compaction
+// counts.
+type Stats struct {
+	LogBytes    int64
+	Appends     int64
+	Fsyncs      int64
+	Compactions int64
+}
+
+// Stats reports the backend's I/O accounting; false for backends without
+// one (the in-memory backends).
+func (db *DB) Stats() (Stats, bool) {
+	if s, ok := db.backend.(interface{ Stats() Stats }); ok {
+		return s.Stats(), true
+	}
+	return Stats{}, false
+}
+
 // Update is one key mutation within a batch.
 type Update struct {
 	Value    []byte

@@ -54,6 +54,7 @@ func DeliverToPeer(tr Transport, p *peer.Peer, cfg DeliverConfig, stop <-chan st
 			return fmt.Errorf("deliver %s/%s: giving up after %d consecutive retries: %w",
 				p.Name(), cfg.ChannelID, cfg.MaxRetries, err)
 		}
+		deliverRetries.Inc()
 		if cfg.OnRetry != nil {
 			cfg.OnRetry(err)
 		}

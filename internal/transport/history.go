@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/obs"
 )
 
 // History is one channel's retained block sequence plus its live tail —
@@ -38,6 +39,13 @@ type History struct {
 	// in-memory backing; nil when src serves reads.
 	mem []*ledger.Block
 	src ledger.BlockSource
+
+	// streams tracks open cursors so scrape-time gauges can report how
+	// many consumers follow this history and how far the slowest lags.
+	streams map[*historyStream]struct{}
+	// label names the history (its channel ID) in queue high-water
+	// warnings; set by SetLabel.
+	label string
 
 	closed bool
 }
@@ -82,7 +90,45 @@ func (h *History) Append(b *ledger.Block) error {
 	}
 	h.next++
 	h.cond.Broadcast()
+	obs.WarnQueueDepth("history_lag", h.label, int(h.maxLagLocked()))
 	return nil
+}
+
+// SetLabel names the history (normally its channel ID) in lag high-water
+// warnings. Call before serving traffic.
+func (h *History) SetLabel(label string) {
+	h.mu.Lock()
+	h.label = label
+	h.mu.Unlock()
+}
+
+// Streams returns the number of open cursors. Intended as a scrape-time
+// gauge callback.
+func (h *History) Streams() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.streams)
+}
+
+// MaxLag returns how many published blocks the slowest open cursor has
+// not yet consumed — the history's analogue of a handoff-queue depth.
+// Intended as a scrape-time gauge callback.
+func (h *History) MaxLag() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.maxLagLocked()
+}
+
+func (h *History) maxLagLocked() uint64 {
+	var max uint64
+	for s := range h.streams {
+		if !s.closed && s.cursor < h.next {
+			if lag := h.next - s.cursor; lag > max {
+				max = lag
+			}
+		}
+	}
+	return max
 }
 
 // Advance publishes every block below height+1 (source backing): after
@@ -131,7 +177,12 @@ func (h *History) Stream(from uint64) (BlockStream, error) {
 	if from < h.base {
 		return nil, Errorf("deliver", false, "history starts at block %d, cannot deliver from %d", h.base, from)
 	}
-	return &historyStream{h: h, cursor: from}, nil
+	s := &historyStream{h: h, cursor: from}
+	if h.streams == nil {
+		h.streams = make(map[*historyStream]struct{})
+	}
+	h.streams[s] = struct{}{}
+	return s, nil
 }
 
 // historyStream is one consumer's cursor into a History. Its fields are
@@ -179,6 +230,7 @@ func (s *historyStream) Recv() (*ledger.Block, error) {
 func (s *historyStream) Close() error {
 	s.h.mu.Lock()
 	s.closed = true
+	delete(s.h.streams, s)
 	s.h.cond.Broadcast()
 	s.h.mu.Unlock()
 	return nil

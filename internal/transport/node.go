@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/obs"
 	"fabriccrdt/internal/peer"
 )
 
@@ -69,6 +70,7 @@ func (n *Node) isClosed() bool {
 
 // Deliver opens a block stream from the channel's history.
 func (n *Node) Deliver(channelID string, from uint64) (BlockStream, error) {
+	callsDeliver.Inc()
 	if n.isClosed() {
 		return nil, ErrClosed
 	}
@@ -84,6 +86,7 @@ func (n *Node) Deliver(channelID string, from uint64) (BlockStream, error) {
 
 // Broadcast forwards the envelope to its channel's ordering service.
 func (n *Node) Broadcast(tx *ledger.Transaction) error {
+	callsBroadcast.Inc()
 	if n.isClosed() {
 		return ErrClosed
 	}
@@ -99,6 +102,7 @@ func (n *Node) Broadcast(tx *ledger.Transaction) error {
 
 // Endorse simulates the proposal on the serving peer.
 func (n *Node) Endorse(prop peer.Proposal) (peer.ProposalResponse, error) {
+	callsEndorse.Inc()
 	if n.isClosed() {
 		return peer.ProposalResponse{}, ErrClosed
 	}
@@ -110,6 +114,7 @@ func (n *Node) Endorse(prop peer.Proposal) (peer.ProposalResponse, error) {
 
 // Submit runs the gateway lifecycle: broadcast, wait for the commit event.
 func (n *Node) Submit(tx *ledger.Transaction) (peer.CommitEvent, error) {
+	callsSubmit.Inc()
 	if n.isClosed() {
 		return peer.CommitEvent{}, ErrClosed
 	}
@@ -178,6 +183,7 @@ func NewGateway(p *peer.Peer, b Broadcaster, timeout time.Duration) *Gateway {
 // it (any validation code — the code is the caller's answer) or the
 // gateway timeout passes.
 func (g *Gateway) Submit(tx *ledger.Transaction) (peer.CommitEvent, error) {
+	start := time.Now()
 	wait := make(chan peer.CommitEvent, 1)
 	g.mu.Lock()
 	g.waiters[tx.ID] = wait
@@ -193,6 +199,12 @@ func (g *Gateway) Submit(tx *ledger.Transaction) (peer.CommitEvent, error) {
 	}
 	select {
 	case ev := <-wait:
+		// Recorded on the peer's process clock, after the peer's commit
+		// span (which starts at finalize entry) — so in the trace view the
+		// gateway.submit span encloses the peer.commit span of its block.
+		obs.Trace(tx.TraceID, "gateway.submit", start,
+			"peer", g.peer.Name(), "txID", tx.ID, "channel", tx.ChannelID,
+			"code", ev.Code.String())
 		return ev, nil
 	case <-g.done:
 		release()

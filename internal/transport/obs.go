@@ -1,0 +1,15 @@
+package transport
+
+import "fabriccrdt/internal/obs"
+
+// Process-global counters on the Default registry: one process may host
+// many Nodes and deliver loops, but the call volume is a per-process
+// property, so the counters live beside the wire transport's rather than
+// on any one Node.
+var (
+	callsDeliver   = obs.Default().Counter(obs.MetricTransportCalls, "op", "deliver")
+	callsBroadcast = obs.Default().Counter(obs.MetricTransportCalls, "op", "broadcast")
+	callsEndorse   = obs.Default().Counter(obs.MetricTransportCalls, "op", "endorse")
+	callsSubmit    = obs.Default().Counter(obs.MetricTransportCalls, "op", "submit")
+	deliverRetries = obs.Default().Counter(obs.MetricDeliverRetries)
+)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fabriccrdt/internal/ledger"
+	"fabriccrdt/internal/obs"
 	"fabriccrdt/internal/peer"
 	"fabriccrdt/internal/transport"
 )
@@ -63,6 +64,9 @@ type Client struct {
 	nextID  uint64
 	info    transport.Info
 	closed  bool
+	// everConnected distinguishes a reconnect from the first dial in the
+	// reconnect counter.
+	everConnected bool
 }
 
 // wireCall is one in-flight request or open stream: the read loop pushes
@@ -86,8 +90,10 @@ func newWireCall() *wireCall {
 func (w *wireCall) push(f frame) {
 	w.mu.Lock()
 	w.queue = append(w.queue, f)
+	depth := len(w.queue)
 	w.cond.Broadcast()
 	w.mu.Unlock()
+	obs.WarnQueueDepth("wire_call", "", depth)
 }
 
 func (w *wireCall) fail(err error) {
@@ -142,6 +148,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	if err := c.connectLocked(); err != nil {
 		return nil, err
 	}
+	trackClient(c)
 	return c, nil
 }
 
@@ -170,6 +177,12 @@ func (c *Client) connectLocked() error {
 		return transport.Errorf("dial", true, "wire: bad hello body from %s: %v", c.addr, err)
 	}
 	conn.SetReadDeadline(time.Time{})
+	framesClientIn.Inc()
+	bytesClientIn.Add(frameBytes(hello))
+	if c.everConnected {
+		reconnects.Inc()
+	}
+	c.everConnected = true
 	c.conn = conn
 	c.writeMu = &sync.Mutex{}
 	c.info = info
@@ -216,9 +229,14 @@ func (c *Client) readLoop(conn net.Conn) {
 	for {
 		f, err := readFrame(conn)
 		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				frameErrsClient.Inc()
+			}
 			c.teardown(conn, err)
 			return
 		}
+		framesClientIn.Inc()
+		bytesClientIn.Add(frameBytes(f))
 		c.mu.Lock()
 		call := c.calls[f.Stream]
 		c.mu.Unlock()
@@ -281,8 +299,11 @@ func (c *Client) send(conn net.Conn, writeMu *sync.Mutex, f frame) error {
 	defer writeMu.Unlock()
 	conn.SetWriteDeadline(time.Now().Add(c.cfg.WriteTimeout))
 	if err := writeFrame(conn, f); err != nil {
+		frameErrsClient.Inc()
 		return transport.Errorf("conn", true, "wire: writing to %s: %v", c.addr, err)
 	}
+	framesClientOut.Inc()
+	bytesClientOut.Add(frameBytes(f))
 	return nil
 }
 
@@ -400,10 +421,29 @@ func (c *Client) Close() error {
 	c.closed = true
 	conn := c.conn
 	c.mu.Unlock()
+	untrackClient(c)
 	if conn != nil {
 		c.teardown(conn, transport.ErrClosed)
 	}
 	return nil
+}
+
+// queueDepth is the total number of frames parked in this client's
+// in-flight call queues — the scrape-time gauge input.
+func (c *Client) queueDepth() int {
+	c.mu.Lock()
+	calls := make([]*wireCall, 0, len(c.calls))
+	for _, w := range c.calls {
+		calls = append(calls, w)
+	}
+	c.mu.Unlock()
+	total := 0
+	for _, w := range calls {
+		w.mu.Lock()
+		total += len(w.queue)
+		w.mu.Unlock()
+	}
+	return total
 }
 
 // clientStream is one open wire deliver session.

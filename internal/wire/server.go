@@ -146,8 +146,13 @@ func (s *Server) serveConn(conn net.Conn) {
 	for {
 		f, err := readFrame(conn)
 		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				frameErrsServer.Inc()
+			}
 			return // disconnect or garbage: drop the connection
 		}
+		framesServerIn.Inc()
+		bytesServerIn.Add(frameBytes(f))
 		switch f.Type {
 		case ftOpenDeliver:
 			handlers.Add(1)
@@ -183,7 +188,13 @@ func (sc *serverConn) write(f frame) error {
 	if t := sc.srv.WriteTimeout; t > 0 {
 		sc.conn.SetWriteDeadline(time.Now().Add(t))
 	}
-	return writeFrame(sc.conn, f)
+	if err := writeFrame(sc.conn, f); err != nil {
+		frameErrsServer.Inc()
+		return err
+	}
+	framesServerOut.Inc()
+	bytesServerOut.Add(frameBytes(f))
+	return nil
 }
 
 // writeErr fails a stream, preserving the retryable/fatal split across the

@@ -1,0 +1,50 @@
+#!/bin/sh
+# Metric-name vet (runs in `make vet`): internal/obs/names.go is the single
+# catalog of registry metric names. This check enforces:
+#   1. every name in the catalog matches ^fabriccrdt_[a-z0-9_]+$
+#   2. no name is declared twice
+#   3. no .go file outside internal/obs contains a "fabriccrdt_..." string
+#      literal — call sites must reference the obs.Metric* constants (the
+#      obs package's own tests exercise the registry with literal names)
+set -eu
+
+cd "$(dirname "$0")/.."
+catalog=internal/obs/names.go
+fail=0
+
+# Extract the quoted metric names from the catalog's declaration lines
+# (skipping comments, which may show an abbreviated "fabriccrdt_...").
+names=$(grep -E '^	Metric[A-Za-z]+ *= *"' "$catalog" | grep -o '"fabriccrdt_[^"]*"' | tr -d '"')
+if [ -z "$names" ]; then
+    echo "check_metrics: no metric names found in $catalog" >&2
+    exit 1
+fi
+
+# 1. Shape: lowercase snake_case under the fabriccrdt_ prefix.
+bad=$(printf '%s\n' "$names" | grep -vE '^fabriccrdt_[a-z0-9_]+$' || true)
+if [ -n "$bad" ]; then
+    echo "check_metrics: names violating ^fabriccrdt_[a-z0-9_]+\$:" >&2
+    printf '%s\n' "$bad" >&2
+    fail=1
+fi
+
+# 2. Uniqueness: each name declared exactly once.
+dupes=$(printf '%s\n' "$names" | sort | uniq -d)
+if [ -n "$dupes" ]; then
+    echo "check_metrics: names declared more than once in $catalog:" >&2
+    printf '%s\n' "$dupes" >&2
+    fail=1
+fi
+
+# 3. Single catalog: no fabriccrdt_ literal outside internal/obs.
+strays=$(grep -rn --include='*.go' '"fabriccrdt_' . | grep -v '^\./internal/obs/' || true)
+if [ -n "$strays" ]; then
+    echo "check_metrics: metric-name literals outside $catalog (use the obs.Metric* constants):" >&2
+    printf '%s\n' "$strays" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "check_metrics: $(printf '%s\n' "$names" | wc -l | tr -d ' ') metric names OK"
