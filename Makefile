@@ -1,28 +1,33 @@
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke demo-persist test-wire smoke-multiproc
+.PHONY: ci fmt vet lint build test race bench bench-smoke demo-persist test-wire smoke-multiproc fuzz-smoke
 
-ci: fmt vet build race
+ci: fmt vet lint build race
 
 fmt:
-	@unformatted=$$(gofmt -l .); \
+	@unformatted=$$(gofmt -s -l .); \
 	if [ -n "$$unformatted" ]; then \
-		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+		echo "gofmt -s needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 
 vet:
 	$(GO) vet ./...
-	sh scripts/check_metrics.sh
+
+# Project-invariant analyzers (stdlib-only, see docs/ANALYZERS.md):
+# deadlock, determinism, metricnames (the former scripts/check_metrics.sh)
+# and wireerr. Non-zero exit on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/fabriccrdt-lint ./...
 
 build:
 	$(GO) build ./...
 
-# vet is part of the tier-1 gate: test and race refuse to run on code
-# that does not vet clean.
-test: vet
+# vet and lint are part of the tier-1 gate: test and race refuse to run
+# on code that does not pass both.
+test: vet lint
 	$(GO) test ./...
 
-race: vet
+race: vet lint
 	$(GO) test -race ./...
 
 # Wire-transport gate: the transport conformance suite against BOTH
@@ -58,6 +63,11 @@ bench:
 # BENCH_commit.json without a long benchmark run.
 bench-smoke:
 	$(GO) test -run xxx -bench $(BENCHES) -benchtime=3x .
+
+# Short-budget coverage-guided fuzzing of the wire-frame decoder — enough
+# for CI to catch a decoder regression without a long fuzz run.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzReadFrame -fuzztime 10s ./internal/wire
 
 # One short live-network run with durable peers and the block store on,
 # against a throwaway datadir — proves the -backend disk -persist-blocks

@@ -1,0 +1,80 @@
+// fabriccrdt-lint runs the project-invariant analyzer suite
+// (internal/lint) over the module: deadlock (no blocking operations
+// under a held mutex — the DESIGN.md §7 bug class), determinism (no
+// wall clock, randomness or unordered map iteration in commit-path
+// packages), metricnames (internal/obs/names.go is the single metric
+// catalog) and wireerr (transport.Error sets Op; sentinel comparisons
+// use errors.Is).
+//
+// Usage:
+//
+//	fabriccrdt-lint [-checks deadlock,determinism,...] [packages]
+//
+// packages defaults to ./... . Findings print one per line as
+// file:line:col: [check] message; any finding exits non-zero. See
+// docs/ANALYZERS.md for the check catalog and the //lint:ignore /
+// //lint:sorted suppression syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fabriccrdt/internal/lint"
+)
+
+func main() {
+	var (
+		checksFlag = flag.String("checks", "", "comma-separated checks to run (default: all)")
+		listFlag   = flag.Bool("list", false, "list available checks and exit")
+	)
+	flag.Parse()
+
+	if *listFlag {
+		for _, c := range lint.Checks() {
+			fmt.Printf("%-12s %s\n", c.Name, c.Doc)
+		}
+		return
+	}
+
+	checks := lint.Checks()
+	if *checksFlag != "" {
+		checks = checks[:0:0]
+		for _, name := range strings.Split(*checksFlag, ",") {
+			c, ok := lint.CheckByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fabriccrdt-lint: unknown check %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			checks = append(checks, c)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fabriccrdt-lint: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fabriccrdt-lint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := prog.Run(checks)
+	if len(findings) > 0 {
+		fmt.Print(lint.Format(findings, wd))
+		fmt.Fprintf(os.Stderr, "fabriccrdt-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	names := make([]string, len(checks))
+	for i, c := range checks {
+		names[i] = c.Name
+	}
+	fmt.Printf("fabriccrdt-lint: %d package(s) clean (%s)\n", len(prog.Units), strings.Join(names, ", "))
+}

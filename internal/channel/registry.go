@@ -146,6 +146,7 @@ func (r *Registry) StopAll() {
 	r.mu.Lock()
 	r.stopped = true
 	services := make([]*orderer.Service, 0, len(r.services))
+	//lint:sorted per-channel services stop independently; stop order is invisible
 	for _, svc := range r.services {
 		services = append(services, svc)
 	}

@@ -436,9 +436,11 @@ func (e *Engine) docForKey(docs map[string]*jsoncrdt.Doc, key string) (*jsoncrdt
 // StageDocStates writes the merged document and typed-CRDT states into a
 // commit batch's metadata space.
 func StageDocStates(batch *statedb.UpdateBatch, res Result) {
+	//lint:sorted map-to-map staging; UpdateBatch is keyed, insertion order invisible
 	for key, state := range res.DocStates {
 		batch.PutMeta(MetaPrefix+key, state)
 	}
+	//lint:sorted map-to-map staging; UpdateBatch is keyed, insertion order invisible
 	for key, state := range res.TypedStates {
 		batch.PutMeta(TypedMetaPrefix+key, state)
 	}

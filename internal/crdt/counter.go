@@ -47,6 +47,7 @@ func (c *GCounter) Value() any { return c.Sum() }
 // Sum returns the counter total.
 func (c *GCounter) Sum() uint64 {
 	var total uint64
+	//lint:sorted uint64 addition is commutative; iteration order cannot change the sum
 	for _, v := range c.counts {
 		total += v
 	}
@@ -59,6 +60,7 @@ func (c *GCounter) Merge(other CRDT) error {
 	if err != nil {
 		return err
 	}
+	//lint:sorted slot-wise max is commutative; iteration order cannot change the merged state
 	for r, v := range o.counts {
 		if v > c.counts[r] {
 			c.counts[r] = v

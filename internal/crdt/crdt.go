@@ -98,6 +98,7 @@ func (r *Registry) Types() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	names := make([]string, 0, len(r.factories))
+	//lint:sorted collected names are sorted below before anything observes them
 	for n := range r.factories {
 		names = append(names, n)
 	}

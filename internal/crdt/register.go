@@ -148,6 +148,7 @@ func (m *LWWMap) Get(key string) (string, bool) {
 // Value implements CRDT: a plain map of the live entries.
 func (m *LWWMap) Value() any {
 	out := make(map[string]string)
+	//lint:sorted map-to-map projection; insertion order is invisible
 	for k, e := range m.entries {
 		if !e.Deleted {
 			out[k] = e.Value
@@ -159,6 +160,7 @@ func (m *LWWMap) Value() any {
 // Keys returns the sorted live keys.
 func (m *LWWMap) Keys() []string {
 	out := make([]string, 0, len(m.entries))
+	//lint:sorted collected keys are sorted below before anything observes them
 	for k, e := range m.entries {
 		if !e.Deleted {
 			out = append(out, k)
@@ -174,6 +176,7 @@ func (m *LWWMap) Merge(other CRDT) error {
 	if err != nil {
 		return err
 	}
+	//lint:sorted per-key LWW merge is commutative; Witness takes a running max
 	for k, oe := range o.entries {
 		cur, ok := m.entries[k]
 		if !ok || cur.Stamp.Less(oe.Stamp) {

@@ -43,6 +43,7 @@ func (s *GSet) Value() any { return s.Members() }
 // Members returns the sorted member list.
 func (s *GSet) Members() []string {
 	out := make([]string, 0, len(s.members))
+	//lint:sorted collected members are sorted below before anything observes them
 	for m := range s.members {
 		out = append(out, m)
 	}
@@ -56,6 +57,7 @@ func (s *GSet) Merge(other CRDT) error {
 	if err != nil {
 		return err
 	}
+	//lint:sorted set union into a map is order-independent
 	for m := range o.members {
 		s.members[m] = struct{}{}
 	}
@@ -121,6 +123,7 @@ func (s *ORSet) Add(v string) {
 
 // Remove deletes every currently observed tag of v.
 func (s *ORSet) Remove(v string) {
+	//lint:sorted tombstone union is order-independent
 	for tag := range s.adds[v] {
 		s.tombs[tag] = struct{}{}
 	}
@@ -128,6 +131,7 @@ func (s *ORSet) Remove(v string) {
 
 // Contains reports whether v has at least one live tag.
 func (s *ORSet) Contains(v string) bool {
+	//lint:sorted pure any-live-tag query; no state written, result order-independent
 	for tag := range s.adds[v] {
 		if _, dead := s.tombs[tag]; !dead {
 			return true
@@ -142,6 +146,7 @@ func (s *ORSet) Value() any { return s.Members() }
 // Members returns the sorted live member list.
 func (s *ORSet) Members() []string {
 	out := make([]string, 0, len(s.adds))
+	//lint:sorted collected members are sorted below before anything observes them
 	for v := range s.adds {
 		if s.Contains(v) {
 			out = append(out, v)
@@ -157,14 +162,17 @@ func (s *ORSet) Merge(other CRDT) error {
 	if err != nil {
 		return err
 	}
+	//lint:sorted tag union into nested maps is order-independent
 	for v, tags := range o.adds {
 		if s.adds[v] == nil {
 			s.adds[v] = make(map[string]struct{}, len(tags))
 		}
+		//lint:sorted tag union into a map is order-independent
 		for tag := range tags {
 			s.adds[v][tag] = struct{}{}
 		}
 	}
+	//lint:sorted tombstone union is order-independent
 	for tag := range o.tombs {
 		s.tombs[tag] = struct{}{}
 	}
@@ -175,7 +183,9 @@ func (s *ORSet) Merge(other CRDT) error {
 
 // witnessTags advances the local clock beyond every known tag.
 func (s *ORSet) witnessTags() {
+	//lint:sorted Clock.Witness takes a running max; order-independent
 	for _, tags := range s.adds {
+		//lint:sorted Clock.Witness takes a running max; order-independent
 		for tag := range tags {
 			if id, err := lamport.Parse(tag); err == nil {
 				s.clock.Witness(id)
@@ -198,14 +208,17 @@ func (s *ORSet) StateJSON() ([]byte, error) {
 		Replica: s.clock.Replica(),
 		Adds:    make(map[string][]string, len(s.adds)),
 	}
+	//lint:sorted encoding/json emits map keys sorted; per-element tag lists sorted below
 	for v, tags := range s.adds {
 		lst := make([]string, 0, len(tags))
+		//lint:sorted collected tags are sorted below
 		for tag := range tags {
 			lst = append(lst, tag)
 		}
 		sort.Strings(lst)
 		st.Adds[v] = lst
 	}
+	//lint:sorted collected tombstones are sorted below
 	for tag := range s.tombs {
 		st.Tombs = append(st.Tombs, tag)
 	}
@@ -223,6 +236,7 @@ func (s *ORSet) LoadStateJSON(data []byte) error {
 	clock.Restore(st.Counter)
 	s.clock = clock
 	s.adds = make(map[string]map[string]struct{}, len(st.Adds))
+	//lint:sorted rebuilding a map from a map; insertion order is invisible
 	for v, tags := range st.Adds {
 		m := make(map[string]struct{}, len(tags))
 		for _, tag := range tags {

@@ -339,6 +339,7 @@ func (d *Doc) resolve(op Operation) (*entry, error) {
 // newLocalOp stamps a fresh operation and applies it locally.
 func (d *Doc) newLocalOp(cursor Cursor, mut Mutation, deps idSet) (Operation, error) {
 	ids := make([]lamport.ID, 0, len(deps))
+	//lint:sorted collected dep IDs are sorted below before stamping the op
 	for id := range deps {
 		ids = append(ids, id)
 	}

@@ -31,6 +31,7 @@ func (d *Doc) MarshalJSON() ([]byte, error) {
 
 func mapToJSON(m *mapNode) map[string]any {
 	out := make(map[string]any, len(m.entries))
+	//lint:sorted map-to-map projection; encoding/json emits keys sorted
 	for key, e := range m.entries {
 		if !e.visible() {
 			continue
@@ -78,6 +79,7 @@ func resolveRegister(reg map[lamport.ID]Value) Value {
 		bestV  Value
 		picked bool
 	)
+	//lint:sorted running max over totally-ordered Lamport IDs; order-independent
 	for id, v := range reg {
 		if !picked || best.Less(id) {
 			best, bestV, picked = id, v, true
@@ -108,6 +110,7 @@ func (d *Doc) ConflictsAt(path ...string) []Conflict {
 		return nil
 	}
 	out := make([]Conflict, 0, len(e.reg))
+	//lint:sorted collected conflicts are sorted by ID below
 	for id, v := range e.reg {
 		out = append(out, Conflict{ID: id, Value: v.Interface()})
 	}

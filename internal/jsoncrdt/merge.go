@@ -55,6 +55,7 @@ func (d *Doc) mergeValue(parent Cursor, key string, val any, deps idSet) error {
 		// currently visible content makes the later of two same-key scalar
 		// writes win deterministically (peers share block order).
 		clear := d.liveIDsAt(cursor)
+		//lint:sorted id-set union is order-independent
 		for id := range deps {
 			clear.add(id)
 		}
@@ -146,6 +147,7 @@ func (d *Doc) listTailID(cursor Cursor) lamport.ID {
 
 func sortedKeys(m map[string]any) []string {
 	keys := make([]string, 0, len(m))
+	//lint:sorted collected keys are sorted below before anything observes them
 	for k := range m {
 		keys = append(keys, k)
 	}

@@ -50,11 +50,13 @@ func (e *entry) ensureList() *listNode {
 // deps — i.e. concurrent with the clearing operation — survive, which gives
 // the datatype its add-wins character.
 func (e *entry) clear(deps idSet) {
+	//lint:sorted deleting an id set from maps is order-independent
 	for id := range deps {
 		delete(e.pres, id)
 		delete(e.reg, id)
 	}
 	if e.mapN != nil {
+		//lint:sorted clear recursion is per-child-independent; order is invisible
 		for _, child := range e.mapN.entries {
 			child.clear(deps)
 		}
@@ -70,13 +72,16 @@ func (e *entry) clear(deps idSet) {
 // subtree to dst. Local operations use this to compute the set an assign or
 // delete must clear.
 func (e *entry) liveIDs(dst idSet) {
+	//lint:sorted id-set union is order-independent
 	for id := range e.pres {
 		dst.add(id)
 	}
+	//lint:sorted id-set union is order-independent
 	for id := range e.reg {
 		dst.add(id)
 	}
 	if e.mapN != nil {
+		//lint:sorted per-child set union; order is invisible
 		for _, child := range e.mapN.entries {
 			child.liveIDs(dst)
 		}

@@ -103,6 +103,7 @@ func marshalMap(m *mapNode) *mapState {
 		return nil
 	}
 	st := &mapState{Entries: make(map[string]*entryState, len(m.entries))}
+	//lint:sorted map-to-map projection; encoding/json emits keys sorted
 	for k, e := range m.entries {
 		st.Entries[k] = marshalEntry(e)
 	}
@@ -116,6 +117,7 @@ func marshalEntry(e *entry) *entryState {
 	}
 	if len(e.reg) > 0 {
 		st.Reg = make([]regState, 0, len(e.reg))
+		//lint:sorted collected register states are sorted by ID below
 		for id, v := range e.reg {
 			st.Reg = append(st.Reg, regState{ID: id.String(), Value: v})
 		}
@@ -135,6 +137,7 @@ func unmarshalMap(st *mapState) (*mapNode, error) {
 	if st == nil {
 		return m, nil
 	}
+	//lint:sorted rebuilding a map from a map; insertion order is invisible
 	for k, es := range st.Entries {
 		e, err := unmarshalEntry(es)
 		if err != nil {
@@ -198,6 +201,7 @@ func sortedIDStrings(s idSet) []string {
 		return nil
 	}
 	ids := make([]lamport.ID, 0, len(s))
+	//lint:sorted collected IDs are sorted below before anything observes them
 	for id := range s {
 		ids = append(ids, id)
 	}

@@ -1,0 +1,402 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// The deadlock check enforces the DESIGN.md §7 post-mortem discipline:
+// never perform a potentially-unbounded blocking operation — a channel
+// send, sync.WaitGroup.Wait, or network I/O — while a sync.Mutex or
+// sync.RWMutex is held in the same function body. The PR 4 orderer
+// deadlock was exactly this shape: Service.emit sent blocks into bounded
+// subscriber channels while holding the service mutex, so one stalled
+// consumer wedged every producer that needed the lock.
+//
+// The analysis is per function body and intentionally conservative in
+// what it claims: it tracks Lock/RLock … Unlock/RUnlock pairs on the
+// same receiver expression textually within one body, treats `defer
+// x.Unlock()` as holding for the rest of the body (it does — the mutex
+// is held until return), gives nested function literals a fresh lock
+// state (a spawned goroutine does not inherit the parent's locks), and
+// does not follow calls into other functions. Branch handling: an
+// if/else arm's lock-state changes propagate past the statement only if
+// every fall-through path agrees; loop and switch bodies are scanned for
+// violations but their state changes do not escape (a 0-iteration loop
+// must not unlock the outer view).
+func runDeadlock(p *Program) []Finding {
+	var findings []Finding
+	for _, u := range p.Units {
+		for _, f := range u.Files {
+			if u.TestFile[f] {
+				continue
+			}
+			for _, body := range funcBodies(f) {
+				s := &deadlockScan{prog: p, unit: u}
+				s.block(body.List, newHeldSet())
+				findings = append(findings, s.findings...)
+			}
+		}
+	}
+	return findings
+}
+
+// heldSet maps a mutex receiver expression (rendered source text, e.g.
+// "s.mu") to the position where it was locked.
+type heldSet map[string]ast.Node
+
+func newHeldSet() heldSet { return make(heldSet) }
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only mutexes held in both sets.
+func (h heldSet) intersect(o heldSet) heldSet {
+	c := make(heldSet)
+	for k, v := range h {
+		if _, ok := o[k]; ok {
+			c[k] = v
+		}
+	}
+	return c
+}
+
+func (h heldSet) any() (string, bool) {
+	for k := range h {
+		return k, true
+	}
+	return "", false
+}
+
+type deadlockScan struct {
+	prog     *Program
+	unit     *Unit
+	findings []Finding
+}
+
+func (s *deadlockScan) report(n ast.Node, format string, args ...any) {
+	s.findings = append(s.findings, Finding{
+		Check:   "deadlock",
+		Pos:     s.prog.Fset.Position(n.Pos()),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// block scans a statement list sequentially, mutating held as locks are
+// taken and released, and returns the resulting state.
+func (s *deadlockScan) block(stmts []ast.Stmt, held heldSet) heldSet {
+	for _, st := range stmts {
+		held = s.stmt(st, held)
+	}
+	return held
+}
+
+// stmt scans one statement under the current lock state and returns the
+// state after it.
+func (s *deadlockScan) stmt(st ast.Stmt, held heldSet) heldSet {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if recv, kind, ok := s.mutexOp(call); ok {
+				switch kind {
+				case "Lock", "RLock":
+					held[recv] = st
+				case "Unlock":
+					delete(held, recv)
+				case "RUnlock":
+					delete(held, recv)
+				}
+				return held
+			}
+		}
+		s.expr(st.X, held)
+	case *ast.SendStmt:
+		if mu, ok := held.any(); ok {
+			s.report(st, "channel send while %q is locked — a stalled receiver wedges every goroutine that needs the lock (DESIGN.md §7)", mu)
+		}
+		s.expr(st.Chan, held)
+		s.expr(st.Value, held)
+	case *ast.DeferStmt:
+		// defer x.Unlock() keeps the mutex held for the remainder of the
+		// body; any other deferred call runs after the body and is not
+		// scanned under the current state.
+		if _, _, ok := s.mutexOp(st.Call); ok {
+			return held
+		}
+		for _, a := range st.Call.Args {
+			s.expr(a, held)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold our locks; its body is
+		// scanned as its own function body with a fresh state. Arguments
+		// are evaluated here, though.
+		for _, a := range st.Call.Args {
+			s.expr(a, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e, held)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e, held)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		s.expr(st.Cond, held)
+		then := s.block(st.Body.List, held.clone())
+		switch els := st.Else.(type) {
+		case nil:
+			// No else: the fall-through path around the body keeps held;
+			// changes inside the body survive only if the body falls
+			// through and agrees (early `mu.Unlock(); return` arms must
+			// not unlock the main path's view).
+			if !terminates(st.Body.List) {
+				held = held.intersect(then)
+			}
+		case *ast.BlockStmt:
+			elseHeld := s.block(els.List, held.clone())
+			held = mergeBranches(held, [2]heldSet{then, elseHeld}, [2]bool{terminates(st.Body.List), terminates(els.List)})
+		case *ast.IfStmt:
+			elseHeld := s.stmt(els, held.clone())
+			held = mergeBranches(held, [2]heldSet{then, elseHeld}, [2]bool{terminates(st.Body.List), false})
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.expr(st.Cond, held)
+		}
+		s.block(st.Body.List, held.clone()) // findings only; state does not escape
+	case *ast.RangeStmt:
+		s.expr(st.X, held)
+		s.block(st.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.expr(st.Tag, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					s.expr(e, held)
+				}
+				s.block(cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			held = s.stmt(st.Init, held)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				s.block(cc.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		blocking := true
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				blocking = false // has a default clause: non-blocking
+			}
+		}
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && blocking {
+				if mu, locked := held.any(); locked {
+					s.report(send, "channel send in blocking select while %q is locked (DESIGN.md §7)", mu)
+				}
+			}
+			s.block(cc.Body, held.clone())
+		}
+	case *ast.BlockStmt:
+		held = s.block(st.List, held)
+	case *ast.LabeledStmt:
+		held = s.stmt(st.Stmt, held)
+	}
+	return held
+}
+
+// expr scans an expression for blocking calls made under held locks. It
+// does not descend into function literals — those are separate bodies.
+func (s *deadlockScan) expr(e ast.Expr, held heldSet) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		mu, isHeld := held.any()
+		if !isHeld {
+			return true
+		}
+		if s.isWaitGroupWait(call) {
+			s.report(call, "sync.WaitGroup.Wait while %q is locked — waiting on goroutines that may need the lock (DESIGN.md §7)", mu)
+		} else if pkg, name, ok := s.netCall(call); ok {
+			s.report(call, "blocking %s.%s call while %q is locked (DESIGN.md §7)", pkg, name, mu)
+		}
+		return true
+	})
+}
+
+// mutexOp reports whether call is x.Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex (directly or through an embedded field),
+// returning the receiver's source text and the operation name.
+func (s *deadlockScan) mutexOp(call *ast.CallExpr) (recv string, kind string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	kind = sel.Sel.Name
+	switch kind {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	obj, isFunc := s.unit.Info.Uses[sel.Sel].(*types.Func)
+	if !isFunc {
+		return "", "", false
+	}
+	recvVar := obj.Type().(*types.Signature).Recv()
+	if recvVar == nil || !isSyncMutex(recvVar.Type()) {
+		return "", "", false
+	}
+	return exprText(sel.X), kind, true
+}
+
+// isWaitGroupWait reports whether call is (*sync.WaitGroup).Wait.
+func (s *deadlockScan) isWaitGroupWait(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	obj, ok := s.unit.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	return isNamedIn(recv.Type(), "sync", "WaitGroup")
+}
+
+// blockingNetNames are the net / net/http calls that can block on a
+// remote party. Deadline setters, address accessors and Close are not in
+// the class: they complete locally.
+var blockingNetNames = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"Accept": true, "AcceptTCP": true, "Dial": true, "DialTimeout": true,
+	"DialTCP": true, "DialUDP": true, "DialIP": true, "DialUnix": true,
+	"Do": true, "Get": true, "Head": true, "Post": true, "PostForm": true,
+}
+
+// netCall reports whether call resolves to a blocking function or method
+// of package net or net/http — the I/O class the deadlock discipline
+// bans under locks (file I/O under a commit mutex is a deliberate WAL
+// pattern and is not flagged).
+func (s *deadlockScan) netCall(call *ast.CallExpr) (pkg, name string, ok bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = s.unit.Info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = s.unit.Info.Uses[fun]
+	default:
+		return "", "", false
+	}
+	fn, isFunc := obj.(*types.Func)
+	if !isFunc || !blockingNetNames[fn.Name()] {
+		return "", "", false
+	}
+	// Package-level function from net / net/http.
+	if p := fn.Pkg(); p != nil && (p.Path() == "net" || p.Path() == "net/http") {
+		if recv := fn.Type().(*types.Signature).Recv(); recv == nil {
+			return p.Path(), fn.Name(), true
+		}
+	}
+	// Method on a type declared in net / net/http (net.Conn.Read,
+	// net.Listener.Accept, http.Client.Do, ... including interfaces).
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, isPtr := t.(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			if p := named.Obj().Pkg(); p != nil && (p.Path() == "net" || p.Path() == "net/http") {
+				return p.Path(), named.Obj().Name() + "." + fn.Name(), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// mergeBranches combines lock state after an if/else: a branch that
+// terminates (returns/panics) contributes nothing to the fall-through
+// state; otherwise a mutex stays held only if every fall-through path
+// holds it.
+func mergeBranches(before heldSet, branches [2]heldSet, term [2]bool) heldSet {
+	switch {
+	case term[0] && term[1]:
+		return before
+	case term[0]:
+		return branches[1]
+	case term[1]:
+		return branches[0]
+	default:
+		return branches[0].intersect(branches[1])
+	}
+}
+
+// terminates reports whether a statement list always transfers control
+// away (return, panic, goto, break, continue, os.Exit-like not modeled).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	}
+	return false
+}

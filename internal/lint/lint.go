@@ -1,0 +1,250 @@
+// Package lint is fabriccrdt-lint: a dependency-free analyzer suite for
+// the project invariants no compiler checks. It is built on stdlib
+// go/parser, go/ast and go/types only (no golang.org/x/tools — the module
+// stays zero-dep) and runs four checks:
+//
+//   - deadlock:    no channel send, WaitGroup.Wait or blocking network
+//     I/O while a sync.Mutex/RWMutex is held in the same
+//     function body (the DESIGN.md §7 orderer post-mortem).
+//   - determinism: no time.Now, math/rand or unordered map iteration in
+//     commit-path packages — unordered iteration feeding
+//     committed state breaks byte-identical replay.
+//   - metricnames: internal/obs/names.go is the single metric-name
+//     catalog (shape, uniqueness, no stray literals, every
+//     name referenced) — the former scripts/check_metrics.sh.
+//   - wireerr:     transport.Error construction sets Op; sentinel error
+//     comparisons use errors.Is, never == / !=.
+//
+// Findings can be suppressed with a reasoned annotation on the offending
+// line or the line above it:
+//
+//	//lint:ignore <check> <reason>
+//
+// The reason is mandatory. The determinism check additionally honors
+//
+//	//lint:sorted <reason>
+//
+// on a range-over-map statement, asserting the loop's effect is
+// iteration-order independent (or explicitly sorted). See
+// docs/ANALYZERS.md for the full catalog and how to add a check.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Finding is one analyzer hit.
+type Finding struct {
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// A Check is one analyzer: a name, a one-line doc string, and a Run
+// function over the loaded program. Run returns raw findings;
+// suppression filtering happens in Program.Run.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(p *Program) []Finding
+}
+
+// Checks is the registry, in the order they run and are documented.
+func Checks() []Check {
+	return []Check{
+		{Name: "deadlock", Doc: "no channel send, WaitGroup.Wait or blocking net I/O while a sync mutex is held in the same function body", Run: runDeadlock},
+		{Name: "determinism", Doc: "no time.Now, math/rand or unannotated range-over-map in commit-path packages", Run: runDeterminism},
+		{Name: "metricnames", Doc: "obs names.go is the single fabriccrdt_ metric catalog: shape, uniqueness, no stray literals, every name referenced", Run: runMetricNames},
+		{Name: "wireerr", Doc: "transport.Error literals set Op; sentinel error comparisons use errors.Is, not == / !=", Run: runWireErr},
+	}
+}
+
+// CheckByName returns the named check.
+func CheckByName(name string) (Check, bool) {
+	for _, c := range Checks() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Check{}, false
+}
+
+// directiveKind distinguishes the two annotation forms.
+const (
+	dirIgnore = "ignore"
+	dirSorted = "sorted"
+)
+
+// directive is one parsed //lint:... annotation.
+type directive struct {
+	kind   string // dirIgnore or dirSorted
+	check  string // for ignore: the check name it suppresses
+	reason string
+	pos    token.Position
+}
+
+// directives returns every //lint: annotation in the program, keyed by
+// file name then line, plus findings for malformed ones (missing reason,
+// unknown check). A directive on line L applies to findings on line L
+// (trailing comment) or line L+1 (comment above the statement).
+func (p *Program) directives() (map[string]map[int]directive, []Finding) {
+	byFile := make(map[string]map[int]directive)
+	var bad []Finding
+	known := make(map[string]bool)
+	for _, c := range Checks() {
+		known[c.Name] = true
+	}
+	for _, u := range p.Units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:")
+					if !ok {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) == 0 {
+						bad = append(bad, Finding{Check: "lint", Pos: pos, Message: "malformed //lint: directive: want //lint:ignore <check> <reason> or //lint:sorted <reason>"})
+						continue
+					}
+					d := directive{kind: fields[0], pos: pos}
+					switch d.kind {
+					case dirIgnore:
+						if len(fields) < 3 {
+							bad = append(bad, Finding{Check: "lint", Pos: pos, Message: "//lint:ignore needs a check name and a reason: //lint:ignore <check> <reason>"})
+							continue
+						}
+						d.check = fields[1]
+						d.reason = strings.Join(fields[2:], " ")
+						if !known[d.check] {
+							bad = append(bad, Finding{Check: "lint", Pos: pos, Message: fmt.Sprintf("//lint:ignore names unknown check %q", d.check)})
+							continue
+						}
+					case dirSorted:
+						d.reason = strings.Join(fields[1:], " ")
+					default:
+						bad = append(bad, Finding{Check: "lint", Pos: pos, Message: fmt.Sprintf("unknown //lint: directive %q (want ignore or sorted)", d.kind)})
+						continue
+					}
+					m := byFile[pos.Filename]
+					if m == nil {
+						m = make(map[int]directive)
+						byFile[pos.Filename] = m
+					}
+					m[pos.Line] = d
+				}
+			}
+		}
+	}
+	return byFile, bad
+}
+
+// suppressed reports whether a finding at pos is covered by an ignore
+// directive for the given check on the same line or the line above.
+func suppressed(dirs map[string]map[int]directive, check string, pos token.Position) bool {
+	m := dirs[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if d, ok := m[line]; ok && d.kind == dirIgnore && d.check == check {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedAnnotated reports whether a range statement at pos carries a
+// //lint:sorted annotation (same line or the line above).
+func sortedAnnotated(dirs map[string]map[int]directive, pos token.Position) bool {
+	m := dirs[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if d, ok := m[line]; ok && d.kind == dirSorted {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the given checks over the program, applies suppression
+// directives, and returns findings sorted by position. Type-check errors
+// recorded by the loader surface as findings of the pseudo-check
+// "typecheck" so a package the suite could not analyze fails loudly
+// instead of passing silently.
+func (p *Program) Run(checks []Check) []Finding {
+	dirs, bad := p.directives()
+	p.dirs = dirs // determinism reads //lint:sorted annotations from here
+	findings := append([]Finding(nil), bad...)
+	findings = append(findings, p.TypeErrors...)
+	for _, c := range checks {
+		for _, f := range c.Run(p) {
+			if !suppressed(dirs, f.Check, f.Pos) {
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return findings
+}
+
+// Format renders findings one per line, with file paths relative to rel
+// when possible, and returns the rendered block. An empty slice renders
+// to the empty string.
+func Format(findings []Finding, rel string) string {
+	var b strings.Builder
+	for _, f := range findings {
+		pos := f.Pos
+		if rel != "" {
+			if r, ok := strings.CutPrefix(pos.Filename, rel+"/"); ok {
+				pos.Filename = r
+			}
+		}
+		fmt.Fprintf(&b, "%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, f.Check, f.Message)
+	}
+	return b.String()
+}
+
+// funcBodies yields every function body in the file — FuncDecl bodies and
+// FuncLit bodies — exactly once each. Checks that reason per function
+// body (deadlock) iterate these and must not descend into nested FuncLits
+// themselves: a literal's body is its own entry (a goroutine or callback
+// does not inherit the enclosing function's lock state).
+func funcBodies(f *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				bodies = append(bodies, n.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, n.Body)
+		}
+		return true
+	})
+	return bodies
+}

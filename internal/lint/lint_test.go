@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// golden drives one check over its fixture packages under testdata/src
+// and compares the formatted findings to testdata/<name>.golden. The
+// pseudo-check name "lint" runs no analyzer: the findings are the
+// malformed-directive diagnostics Program.Run emits on its own.
+func golden(t *testing.T, name string, paths ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := LoadDirs(root, paths...)
+	if err != nil {
+		t.Fatalf("LoadDirs(%v): %v", paths, err)
+	}
+	var checks []Check
+	if name != "lint" {
+		c, ok := CheckByName(name)
+		if !ok {
+			t.Fatalf("no check named %q", name)
+		}
+		checks = []Check{c}
+	}
+	got := Format(prog.Run(checks), root)
+
+	goldenFile := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(goldenFile, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings differ from %s (re-run with -update after verifying):\ngot:\n%swant:\n%s", goldenFile, got, want)
+	}
+}
+
+// TestDeadlockGolden includes the PR 4 regression shape from DESIGN.md
+// §7: channel sends into bounded subscriber channels while holding the
+// service mutex. The fixture's emit method must always be flagged.
+func TestDeadlockGolden(t *testing.T) {
+	golden(t, "deadlock", "deadlock")
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	golden(t, "determinism", "determinism/core", "determinism/util")
+}
+
+func TestMetricNamesGolden(t *testing.T) {
+	golden(t, "metricnames", "metricnames/obs", "metricnames/app")
+}
+
+func TestWireErrGolden(t *testing.T) {
+	golden(t, "wireerr", "wireerr/app")
+}
+
+// TestDirectivesGolden checks that malformed //lint: annotations are
+// findings in their own right, under the pseudo-check "lint".
+func TestDirectivesGolden(t *testing.T) {
+	golden(t, "lint", "directives")
+}
+
+// TestDeadlockFlagsPR4Shape pins the regression independently of golden
+// formatting: the emit method's send-under-mutex must produce a deadlock
+// finding whatever else the fixture grows.
+func TestDeadlockFlagsPR4Shape(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := LoadDirs(root, "deadlock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := CheckByName("deadlock")
+	for _, f := range prog.Run([]Check{c}) {
+		if f.Check == "deadlock" && strings.Contains(f.Message, `"s.mu"`) {
+			return
+		}
+	}
+	t.Fatal("deadlock check did not flag the PR 4 send-under-mutex shape (emit method, s.mu held)")
+}
+
+// TestLoadModule smoke-tests the go-list-backed loader against the real
+// module (the lint package itself — stdlib deps only, so it stays fast).
+func TestLoadModule(t *testing.T) {
+	moduleRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(moduleRoot, "./internal/lint")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(prog.TypeErrors) > 0 {
+		t.Fatalf("type errors loading internal/lint: %v", prog.TypeErrors)
+	}
+	found := false
+	for _, u := range prog.Units {
+		if strings.HasSuffix(u.Path, "internal/lint") && u.Pkg != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("internal/lint unit missing from %d loaded units", len(prog.Units))
+	}
+}
+
+func TestFormatRelativizes(t *testing.T) {
+	f := Finding{Check: "wireerr", Message: "m"}
+	f.Pos.Filename = "/a/b/c.go"
+	f.Pos.Line, f.Pos.Column = 3, 7
+	if got, want := Format([]Finding{f}, "/a/b"), "c.go:3:7: [wireerr] m\n"; got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+}

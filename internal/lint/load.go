@@ -1,0 +1,387 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The loader type-checks the module from source using nothing but the
+// stdlib: `go list -test -deps -export -json` names every package, its
+// build-tag-filtered file lists and the gc export data the toolchain
+// already produced for its dependencies; go/parser parses the project's
+// own files with comments; go/types checks them against that export data
+// via go/importer's gc mode. No golang.org/x/tools.
+
+// A Unit is one type-checked package: its production files plus its
+// in-package test files, or an external (_test suffixed) test package.
+type Unit struct {
+	Path  string // import path ("fabriccrdt/internal/peer", "fabriccrdt/internal/wire_test")
+	Name  string // package name
+	Dir   string
+	Files []*ast.File
+	// TestFile marks files whose name ends in _test.go (and every file of
+	// an external test package). Checks about the commit path skip these.
+	TestFile map[*ast.File]bool
+	Pkg      *types.Package
+	Info     *types.Info
+}
+
+// Program is the loaded module plus shared position and directive state.
+type Program struct {
+	Fset  *token.FileSet
+	Units []*Unit
+	// TypeErrors carries type-check failures as findings (pseudo-check
+	// "typecheck"): a package the suite cannot analyze must fail the
+	// gate, not silently pass it.
+	TypeErrors []Finding
+	// WholeProgram is set when the load covered the entire module
+	// ("./..."), enabling rules that need to see every call site (the
+	// metricnames every-name-referenced rule). Package-subset loads
+	// leave it false.
+	WholeProgram bool
+
+	dirs map[string]map[int]directive
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Name         string
+	Dir          string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	ForTest      string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// goList runs `go list -test -deps -export -json` in dir for the given
+// patterns and decodes the JSON stream.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := []string{
+		"list", "-test", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,Export,Standard,DepOnly,ForTest,GoFiles,TestGoFiles,XTestGoFiles",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup resolves import paths to gc export data files. test maps a
+// base import path to the export of its "[foo.test]" variant; an external
+// test package must see that variant so in-package test declarations (the
+// export_test.go idiom) resolve.
+type exportLookup struct {
+	plain map[string]string
+	test  map[string]string
+}
+
+// lookup opens export data for path, preferring the test variant when
+// preferTest is set.
+func (e *exportLookup) lookup(path string, preferTest bool) (io.ReadCloser, error) {
+	if preferTest {
+		if f, ok := e.test[path]; ok {
+			return os.Open(f)
+		}
+	}
+	if f, ok := e.plain[path]; ok {
+		return os.Open(f)
+	}
+	return nil, fmt.Errorf("lint: no export data for %q", path)
+}
+
+// Load type-checks the packages matching patterns (e.g. "./...") rooted
+// at dir. Every project (non-stdlib) package becomes one Unit holding its
+// production and in-package test files; external _test packages become
+// their own Units.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exp := &exportLookup{plain: make(map[string]string), test: make(map[string]string)}
+	var project []listPkg
+	for _, p := range pkgs {
+		switch {
+		case p.ForTest != "":
+			if p.Export != "" && p.ImportPath == p.ForTest+" ["+p.ForTest+".test]" {
+				exp.test[p.ForTest] = p.Export
+			}
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			// Synthetic test-main package; nothing to analyze.
+		default:
+			if p.Export != "" {
+				exp.plain[p.ImportPath] = p.Export
+			}
+			if !p.Standard {
+				project = append(project, p)
+			}
+		}
+	}
+	sort.Slice(project, func(i, j int) bool { return project[i].ImportPath < project[j].ImportPath })
+
+	prog := &Program{Fset: token.NewFileSet()}
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "all" {
+			prog.WholeProgram = true
+		}
+	}
+	// One shared gc importer for every ordinary unit (type identity and
+	// export data reads are amortized across packages); external test
+	// packages get a fresh importer each so their base package can
+	// resolve to its test variant without poisoning the shared cache.
+	shared := importer.ForCompiler(prog.Fset, "gc", func(p string) (io.ReadCloser, error) {
+		return exp.lookup(p, false)
+	})
+	for _, p := range project {
+		// go list reports Test/XTestGoFiles for dependency-only packages
+		// too, but -test only builds test variants (and their extra
+		// dependencies' export data) for the named roots — so deps
+		// contribute production files only.
+		files := append([]string(nil), p.GoFiles...)
+		if !p.DepOnly {
+			files = append(files, p.TestGoFiles...)
+		}
+		if len(files) > 0 {
+			u, err := prog.check(p.ImportPath, p.Name, p.Dir, files, shared, false)
+			if err != nil {
+				return nil, err
+			}
+			prog.Units = append(prog.Units, u)
+		}
+		if !p.DepOnly && len(p.XTestGoFiles) > 0 {
+			ximp := importer.ForCompiler(prog.Fset, "gc", func(p string) (io.ReadCloser, error) {
+				return exp.lookup(p, true)
+			})
+			u, err := prog.check(p.ImportPath+"_test", p.Name+"_test", p.Dir, p.XTestGoFiles, ximp, true)
+			if err != nil {
+				return nil, err
+			}
+			prog.Units = append(prog.Units, u)
+		}
+	}
+	return prog, nil
+}
+
+// check parses and type-checks one unit. Parse failures are hard errors
+// (the build gate would fail anyway); type errors become TypeErrors
+// findings and the partial type information is kept.
+func (prog *Program) check(path, name, dir string, fileNames []string, imp types.Importer, xtest bool) (*Unit, error) {
+	u := &Unit{Path: path, Name: name, Dir: dir, TestFile: make(map[*ast.File]bool)}
+	for _, fn := range fileNames {
+		full := filepath.Join(dir, fn)
+		f, err := parser.ParseFile(prog.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", full, err)
+		}
+		u.Files = append(u.Files, f)
+		u.TestFile[f] = xtest || strings.HasSuffix(fn, "_test.go")
+	}
+	u.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			te, ok := err.(types.Error)
+			if !ok || te.Soft {
+				return
+			}
+			prog.TypeErrors = append(prog.TypeErrors, Finding{
+				Check:   "typecheck",
+				Pos:     te.Fset.Position(te.Pos),
+				Message: te.Msg,
+			})
+		},
+	}
+	// The returned error repeats what the Error callback already
+	// captured; partial information is still usable.
+	u.Pkg, _ = conf.Check(path, prog.Fset, u.Files, u.Info)
+	return u, nil
+}
+
+// LoadDirs loads fixture packages for the golden-file tests: each import
+// path maps to root/<path>, imports between fixture packages resolve from
+// source, and everything else (stdlib) resolves through gc export data
+// from one `go list -export` over the externally-imported set. This keeps
+// analyzer fixtures out of the module build graph (testdata/ is invisible
+// to go list ./...) while still giving them full type information.
+func LoadDirs(root string, paths ...string) (*Program, error) {
+	// Fixtures are self-contained worlds: whole-program rules apply.
+	prog := &Program{Fset: token.NewFileSet(), WholeProgram: true}
+	// Parse everything first to discover the external import set.
+	type fixture struct {
+		path  string
+		dir   string
+		name  string
+		files []string
+	}
+	var fixtures []fixture
+	seen := make(map[string]bool)
+	queue := append([]string(nil), paths...)
+	external := make(map[string]bool)
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		if seen[path] {
+			continue
+		}
+		seen[path] = true
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fixture %s: %v", path, err)
+		}
+		fx := fixture{path: path, dir: dir}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			fx.files = append(fx.files, e.Name())
+			f, err := parser.ParseFile(prog.Fset, filepath.Join(dir, e.Name()), nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, err
+			}
+			fx.name = f.Name.Name
+			for _, spec := range f.Imports {
+				ip := strings.Trim(spec.Path.Value, `"`)
+				if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(ip))); err == nil {
+					queue = append(queue, ip)
+				} else {
+					external[ip] = true
+				}
+			}
+		}
+		fixtures = append(fixtures, fx)
+	}
+
+	exp := &exportLookup{plain: make(map[string]string), test: make(map[string]string)}
+	if len(external) > 0 {
+		var pats []string
+		for ip := range external {
+			pats = append(pats, ip)
+		}
+		sort.Strings(pats)
+		pkgs, err := goList(root, pats)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" && p.ForTest == "" {
+				exp.plain[p.ImportPath] = p.Export
+			}
+		}
+	}
+
+	// Type-check fixtures in dependency order: a tiny source importer
+	// with memoization (fixture imports form a DAG by construction).
+	units := make(map[string]*Unit)
+	var load func(path string) (*Unit, error)
+	imp := &fixtureImporter{
+		gc: importer.ForCompiler(prog.Fset, "gc", func(p string) (io.ReadCloser, error) {
+			return exp.lookup(p, false)
+		}),
+		load: func(p string) (*Unit, error) { return load(p) },
+	}
+	load = func(path string) (*Unit, error) {
+		if u, ok := units[path]; ok {
+			return u, nil
+		}
+		var fx *fixture
+		for i := range fixtures {
+			if fixtures[i].path == path {
+				fx = &fixtures[i]
+			}
+		}
+		if fx == nil {
+			return nil, fmt.Errorf("lint: unknown fixture %q", path)
+		}
+		u := &Unit{Path: path, Name: fx.name, Dir: fx.dir, TestFile: make(map[*ast.File]bool)}
+		for _, fn := range fx.files {
+			f, err := parser.ParseFile(prog.Fset, filepath.Join(fx.dir, fn), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			u.Files = append(u.Files, f)
+			u.TestFile[f] = strings.HasSuffix(fn, "_test.go")
+		}
+		u.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: imp, Error: func(err error) {
+			te, ok := err.(types.Error)
+			if !ok || te.Soft {
+				return
+			}
+			prog.TypeErrors = append(prog.TypeErrors, Finding{Check: "typecheck", Pos: te.Fset.Position(te.Pos), Message: te.Msg})
+		}}
+		u.Pkg, _ = conf.Check(path, prog.Fset, u.Files, u.Info)
+		units[path] = u
+		return u, nil
+	}
+	for _, path := range paths {
+		u, err := load(path)
+		if err != nil {
+			return nil, err
+		}
+		prog.Units = append(prog.Units, u)
+	}
+	return prog, nil
+}
+
+// fixtureImporter resolves fixture-local import paths from source and
+// delegates the rest to gc export data.
+type fixtureImporter struct {
+	load func(path string) (*Unit, error)
+	gc   types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if u, err := fi.load(path); err == nil {
+		return u.Pkg, nil
+	}
+	return fi.gc.Import(path)
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// metricNameShape is the required shape of every registry metric name.
+var metricNameShape = regexp.MustCompile(`^fabriccrdt_[a-z0-9_]+$`)
+
+// runMetricNames enforces the single-catalog metric-name discipline that
+// scripts/check_metrics.sh used to shell-script, plus one rule the
+// script could not express:
+//
+//  1. every Metric* constant in the obs package's names.go matches
+//     ^fabriccrdt_[a-z0-9_]+$;
+//  2. no two constants declare the same name;
+//  3. no .go file outside the obs package contains a "fabriccrdt_..."
+//     string literal — call sites must reference the obs.Metric*
+//     constants (the obs package's own tests exercise the registry with
+//     literal names, so the whole package is exempt);
+//  4. every declared constant is referenced somewhere outside names.go —
+//     a catalog entry nothing emits is a stale name on a dashboard. This
+//     rule is whole-program by nature, so it only runs on whole-module
+//     loads (./...): a package-subset load cannot see all call sites and
+//     would report every constant as orphaned.
+func runMetricNames(p *Program) []Finding {
+	var findings []Finding
+
+	// Locate the catalog: names.go in a package named "obs".
+	type metricConst struct {
+		name  string // constant identifier (MetricPeerBlockHeight)
+		value string // metric name ("fabriccrdt_peer_block_height")
+		pos   ast.Node
+	}
+	var (
+		catalog     []metricConst
+		catalogUnit *Unit
+		catalogFile *ast.File
+	)
+	for _, u := range p.Units {
+		if u.Name != "obs" {
+			continue
+		}
+		for _, f := range u.Files {
+			if filepath.Base(p.Fset.Position(f.Pos()).Filename) != "names.go" {
+				continue
+			}
+			catalogUnit, catalogFile = u, f
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, id := range vs.Names {
+						c, ok := u.Info.Defs[id].(*types.Const)
+						if !ok || !strings.HasPrefix(id.Name, "Metric") {
+							continue
+						}
+						if c.Val().Kind() != constant.String {
+							continue
+						}
+						catalog = append(catalog, metricConst{name: id.Name, value: constant.StringVal(c.Val()), pos: id})
+					}
+				}
+			}
+		}
+	}
+	if catalogFile == nil {
+		// No obs catalog in the loaded program (e.g. a partial load):
+		// nothing to enforce.
+		return nil
+	}
+
+	// 1+2: shape and uniqueness.
+	byValue := make(map[string]string)
+	for _, mc := range catalog {
+		if !metricNameShape.MatchString(mc.value) {
+			findings = append(findings, Finding{Check: "metricnames", Pos: p.Fset.Position(mc.pos.Pos()),
+				Message: fmt.Sprintf("metric name %q violates ^fabriccrdt_[a-z0-9_]+$", mc.value)})
+		}
+		if prev, dup := byValue[mc.value]; dup {
+			findings = append(findings, Finding{Check: "metricnames", Pos: p.Fset.Position(mc.pos.Pos()),
+				Message: fmt.Sprintf("metric name %q already declared as %s", mc.value, prev)})
+		} else {
+			byValue[mc.value] = mc.name
+		}
+	}
+
+	// 3: no fabriccrdt_ string literals outside the obs package.
+	// 4: every catalog constant referenced outside names.go.
+	referenced := make(map[string]bool)
+	catalogPkg := catalogUnit.Path
+	for _, u := range p.Units {
+		inObs := u.Name == "obs" || u.Name == "obs_test"
+		for _, f := range u.Files {
+			isCatalog := f == catalogFile
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BasicLit:
+					//lint:ignore metricnames this literal is the check's own needle, not a metric name
+					if !inObs && n.Kind == token.STRING && strings.HasPrefix(strings.Trim(n.Value, "`\""), "fabriccrdt_") {
+						findings = append(findings, Finding{Check: "metricnames", Pos: p.Fset.Position(n.Pos()),
+							Message: "metric-name literal outside the obs catalog — reference the obs.Metric* constants (internal/obs/names.go)"})
+					}
+				case *ast.Ident:
+					if isCatalog {
+						return true
+					}
+					if c, ok := u.Info.Uses[n].(*types.Const); ok && c.Pkg() != nil &&
+						c.Pkg().Path() == catalogPkg && strings.HasPrefix(c.Name(), "Metric") {
+						referenced[c.Name()] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if p.WholeProgram {
+		for _, mc := range catalog {
+			if !referenced[mc.name] {
+				findings = append(findings, Finding{Check: "metricnames", Pos: p.Fset.Position(mc.pos.Pos()),
+					Message: fmt.Sprintf("catalog constant %s (%q) is never referenced — emit it or delete the entry", mc.name, mc.value)})
+			}
+		}
+	}
+	return findings
+}

@@ -1,0 +1,127 @@
+// Package deadlock is the deadlock-check fixture. Functions marked
+// "finding" must be flagged; the rest must stay silent. The emit method
+// reproduces the PR 4 orderer fan-out deadlock shape from DESIGN.md §7:
+// sends into bounded subscriber channels while holding the service
+// mutex, so one stalled consumer wedges every producer needing the lock.
+package deadlock
+
+import (
+	"net"
+	"sync"
+)
+
+type service struct {
+	mu   sync.Mutex
+	subs []chan int
+}
+
+// emit is the PR 4 regression shape — finding (send under s.mu).
+func (s *service) emit(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ch := range s.subs {
+		ch <- v
+	}
+}
+
+// waitUnderLock — finding (WaitGroup.Wait under mu).
+func waitUnderLock(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	wg.Wait()
+	mu.Unlock()
+}
+
+// netUnderLock — finding (blocking net write under mu).
+func netUnderLock(mu *sync.Mutex, c net.Conn, buf []byte) error {
+	mu.Lock()
+	defer mu.Unlock()
+	_, err := c.Write(buf)
+	return err
+}
+
+// rlockSend — finding (read locks block writers just the same).
+func rlockSend(mu *sync.RWMutex, ch chan int) {
+	mu.RLock()
+	defer mu.RUnlock()
+	ch <- 1
+}
+
+// selectBlocking — finding (no default clause: the select blocks).
+func selectBlocking(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case ch <- 1:
+	}
+}
+
+type embedded struct{ sync.Mutex }
+
+// embeddedSend — finding (Lock through an embedded sync.Mutex).
+func embeddedSend(e *embedded, ch chan int) {
+	e.Lock()
+	ch <- 1
+	e.Unlock()
+}
+
+// heldAfterEarlyReturn — finding (the early-unlock arm returns, so the
+// fall-through path still holds the lock at the send).
+func heldAfterEarlyReturn(mu *sync.Mutex, ch chan int, empty bool) {
+	mu.Lock()
+	if empty {
+		mu.Unlock()
+		return
+	}
+	ch <- 1
+	mu.Unlock()
+}
+
+// okUnlockFirst — silent: the lock is released before the send.
+func okUnlockFirst(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	mu.Unlock()
+	ch <- 1
+}
+
+// okGoroutine — silent: the spawned goroutine does not hold our lock.
+func okGoroutine(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	go func() { ch <- 1 }()
+}
+
+// okSelectDefault — silent: a select with default never blocks.
+func okSelectDefault(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// okBranchesUnlock — silent: every fall-through path unlocked.
+func okBranchesUnlock(mu *sync.Mutex, ch chan int, fast bool) {
+	mu.Lock()
+	if fast {
+		mu.Unlock()
+	} else {
+		mu.Unlock()
+	}
+	ch <- 1
+}
+
+// okDeadlineSetter — silent: deadline setters complete locally.
+func okDeadlineSetter(mu *sync.Mutex, c net.Conn) error {
+	mu.Lock()
+	defer mu.Unlock()
+	return c.Close()
+}
+
+// okSuppressed — silent: carries a reasoned suppression.
+func okSuppressed(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	defer mu.Unlock()
+	//lint:ignore deadlock fixture demonstrates a reasoned suppression
+	ch <- 1
+}

@@ -1,0 +1,44 @@
+// Package core is the determinism-check fixture for a commit-path
+// package (final import-path element "core").
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// now — finding (wall clock in the commit path).
+func now() int64 { return time.Now().UnixNano() }
+
+// roll uses the flagged math/rand import.
+func roll() int { return rand.Int() }
+
+// unsortedRange — finding (unordered map iteration, no annotation).
+func unsortedRange(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// sortedRange — silent: carries a //lint:sorted annotation.
+func sortedRange(m map[string]int) []string {
+	var keys []string
+	//lint:sorted collected keys are sorted below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sliceRange — silent: ranging over a slice is ordered.
+func sliceRange(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

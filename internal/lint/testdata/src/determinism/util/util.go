@@ -1,0 +1,17 @@
+// Package util proves determinism scoping: not a commit-path package, so
+// wall clock and map ranges are allowed here.
+package util
+
+import "time"
+
+// Uptime may read the wall clock — util is not on the commit path.
+func Uptime(start time.Time) time.Duration { return time.Since(time.Now().Add(-time.Second)) }
+
+// Sum may range a map — util is not on the commit path.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,24 @@
+// Package directives is the suppression-syntax fixture: malformed
+// //lint: annotations must themselves be findings.
+package directives
+
+// missingReason — finding (no reason given).
+//
+//lint:ignore deadlock
+func missingReason() {}
+
+// unknownCheck — finding (no such check).
+//
+//lint:ignore nosuchcheck because reasons
+func unknownCheck() {}
+
+// unknownDirective — finding (only ignore and sorted exist).
+//
+//lint:frobnicate all the things
+func unknownDirective() {}
+
+// wellFormed — silent (well-formed directives parse even when nothing is
+// suppressed by them).
+//
+//lint:ignore wireerr demonstrating a well-formed directive
+func wellFormed() {}

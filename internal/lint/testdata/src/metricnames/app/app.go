@@ -1,0 +1,14 @@
+// Package app references catalog constants and carries one stray
+// metric-name literal.
+package app
+
+import "metricnames/obs"
+
+// Names references the catalog constants (so only MetricOrphan is
+// unreferenced).
+func Names() []string {
+	return []string{obs.MetricGood, obs.MetricBadShape, obs.MetricDuplicate}
+}
+
+// stray — finding (metric-name literal outside the obs catalog).
+const stray = "fabriccrdt_stray_total"

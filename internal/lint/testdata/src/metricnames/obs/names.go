@@ -1,0 +1,14 @@
+// Package obs is the metricnames-check fixture catalog (names.go in a
+// package named obs).
+package obs
+
+const (
+	// MetricGood is well-shaped, unique and referenced — silent.
+	MetricGood = "fabriccrdt_good_total"
+	// MetricBadShape — finding (uppercase and dash violate the shape).
+	MetricBadShape = "fabriccrdt_Bad-Shape"
+	// MetricDuplicate — finding (same name as MetricGood).
+	MetricDuplicate = "fabriccrdt_good_total"
+	// MetricOrphan — finding (never referenced outside names.go).
+	MetricOrphan = "fabriccrdt_orphan_total"
+)

@@ -1,0 +1,51 @@
+// Package app is the wireerr-check fixture: Error literals with and
+// without Op, and sentinel comparisons with == / != / errors.Is.
+package app
+
+import (
+	"errors"
+	"io"
+
+	"wireerr/transport"
+)
+
+// missingOp — finding (keyed literal without Op).
+func missingOp(err error) error {
+	return &transport.Error{Retryable: true, Err: err}
+}
+
+// keyedOp — silent: Op is set.
+func keyedOp(err error) error {
+	return &transport.Error{Op: "deliver", Err: err}
+}
+
+// positionalOp — silent: field 0 is Op.
+func positionalOp(err error) error {
+	return &transport.Error{"deliver", false, err}
+}
+
+// compareSentinel — finding (== against a sentinel).
+func compareSentinel(err error) bool {
+	return err == transport.ErrClosed
+}
+
+// compareEOF — finding (!= against io.EOF).
+func compareEOF(err error) bool {
+	return err != io.EOF
+}
+
+// compareIs — silent: errors.Is is the discipline.
+func compareIs(err error) bool {
+	return errors.Is(err, transport.ErrClosed)
+}
+
+// compareNil — silent: nil is not a sentinel.
+func compareNil(err error) bool {
+	return err == nil
+}
+
+// suppressed — silent: carries a reasoned suppression.
+func suppressed(err error) bool {
+	//lint:ignore wireerr fixture demonstrates a reasoned suppression
+	return err == io.EOF
+}

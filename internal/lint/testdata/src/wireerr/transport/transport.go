@@ -1,0 +1,21 @@
+// Package transport is the wireerr-check fixture's stand-in for
+// internal/transport: a package named transport declaring an Error type
+// and a sentinel.
+package transport
+
+import "errors"
+
+// ErrClosed is a sentinel error.
+var ErrClosed = errors.New("transport: closed")
+
+// Error mirrors the real transport.Error shape.
+type Error struct {
+	Op        string
+	Retryable bool
+	Err       error
+}
+
+func (e *Error) Error() string { return e.Op }
+
+// Unwrap exposes the cause to errors.Is.
+func (e *Error) Unwrap() error { return e.Err }

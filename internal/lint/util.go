@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// exprText renders an expression as source text — the key under which a
+// locked mutex is tracked ("mu", "s.mu", ...).
+func exprText(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// isSyncMutex reports whether t (possibly behind a pointer) is
+// sync.Mutex or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	return isNamedIn(t, "sync", "Mutex") || isNamedIn(t, "sync", "RWMutex")
+}
+
+// isNamedIn reports whether t (possibly behind a pointer) is the named
+// type pkgPath.name.
+func isNamedIn(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// lastPathElement returns the final element of an import path
+// ("fabriccrdt/internal/peer" → "peer").
+func lastPathElement(importPath string) string {
+	return path.Base(importPath)
+}

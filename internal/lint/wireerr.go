@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runWireErr enforces the transport error discipline (DESIGN.md's
+// retryable-vs-fatal split):
+//
+//   - a transport.Error composite literal must set Op — an error that
+//     cannot name its failing operation is undiagnosable in the field
+//     (transport.Errorf sets it by construction; literals must too);
+//   - comparisons against sentinel errors (package-level error values
+//     like transport.ErrClosed or io.EOF) must use errors.Is, never
+//     == or != — wrapped causes make direct comparison silently false.
+//
+// Both rules apply to test files as well: a test asserting with == is
+// one wrap away from passing vacuously.
+func runWireErr(p *Program) []Finding {
+	var findings []Finding
+	errType := types.Universe.Lookup("error").Type()
+	for _, u := range p.Units {
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					tv, ok := u.Info.Types[n]
+					if !ok || !isTransportError(tv.Type) {
+						return true
+					}
+					if !literalSetsOp(n) {
+						findings = append(findings, Finding{Check: "wireerr", Pos: p.Fset.Position(n.Pos()),
+							Message: "transport.Error literal without Op — every transport error must name its failing operation"})
+					}
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					for _, side := range [2]ast.Expr{n.X, n.Y} {
+						if name, ok := sentinelError(u.Info, side, errType); ok {
+							findings = append(findings, Finding{Check: "wireerr", Pos: p.Fset.Position(n.Pos()),
+								Message: fmt.Sprintf("comparing against sentinel error %s with %s — use errors.Is, a wrapped cause makes this silently false", name, n.Op)})
+							break
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// isTransportError reports whether t (possibly behind a pointer) is the
+// Error type of a package named transport.
+func isTransportError(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Error" && obj.Pkg() != nil && lastPathElement(obj.Pkg().Path()) == "transport"
+}
+
+// literalSetsOp reports whether a transport.Error composite literal
+// provides the Op field — by key, or positionally (field 0).
+func literalSetsOp(lit *ast.CompositeLit) bool {
+	if len(lit.Elts) == 0 {
+		return false
+	}
+	if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+		return true // positional: first element is Op
+	}
+	for _, e := range lit.Elts {
+		if kv, ok := e.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Op" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sentinelError reports whether expr resolves to a package-level
+// variable of type error — the sentinel pattern (io.EOF,
+// transport.ErrClosed, sql.ErrNoRows, ...). Returns the qualified name.
+func sentinelError(info *types.Info, expr ast.Expr, errType types.Type) (string, bool) {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if !types.Identical(v.Type(), errType) {
+		return "", false
+	}
+	return v.Pkg().Name() + "." + v.Name(), true
+}

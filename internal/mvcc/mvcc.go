@@ -99,6 +99,7 @@ func (v *Validator) ValidateScheduled(blockNum uint64, txs []*ledger.Transaction
 	pendingWrites := make(map[string]rwset.Version)
 	pendingDeletes := make(map[string]struct{})
 	for _, wave := range waves {
+		//lint:ignore determinism per-wave timing only; durations feed metrics, never committed state
 		start := time.Now()
 		parallel.ForEach(workers, wave, func(i int) {
 			// Wave members share no written key, so the pending maps are

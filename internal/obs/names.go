@@ -1,12 +1,13 @@
 package obs
 
 // This file is the single catalog of registry metric names. Every name
-// must match ^fabriccrdt_[a-z0-9_]+$ and be declared exactly once, and no
+// must match ^fabriccrdt_[a-z0-9_]+$ and be declared exactly once, no
 // .go file outside internal/obs may contain a "fabriccrdt_..." string
 // literal (call sites reference these constants; the obs tests exercise
-// the registry with literals) — all enforced by scripts/check_metrics.sh,
-// which runs as part of `make vet`. See docs/OBSERVABILITY.md for the
-// full catalog with types and labels.
+// the registry with literals), and every constant here must be
+// referenced somewhere — all enforced by the metricnames analyzer
+// (internal/lint), which runs as part of `make lint`. See
+// docs/OBSERVABILITY.md for the full catalog with types and labels.
 const (
 	// Commit path (per-peer registries; labels peer, channel).
 	MetricCommitStageSeconds  = "fabriccrdt_commit_stage_seconds"   // histogram{peer,channel,stage}

@@ -15,8 +15,8 @@
 // nothing for them.
 //
 // Every metric name must match ^fabriccrdt_[a-z0-9_]+$ and be declared in
-// names.go (enforced by scripts/check_metrics.sh, which runs under `make
-// vet`).
+// names.go (enforced by the metricnames analyzer in internal/lint, which
+// runs under `make lint`).
 package obs
 
 import (

@@ -64,6 +64,7 @@ func (p *Peer) CommitPipeline(channelID string, deliver <-chan *ledger.Block, de
 		// would depend on the depth and on scheduling).
 		var dead bool
 		for {
+			//lint:ignore determinism stall timing only; durations feed metrics, never committed state
 			idle := time.Now()
 			prep, ok := <-prepared
 			if !ok {

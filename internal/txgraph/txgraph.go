@@ -107,6 +107,7 @@ func Build(txs []*ledger.Transaction, codes []ledger.ValidationCode, crdtEnabled
 	longest := 0
 	edges := 0
 	forEachDep(txs, eligible, func(j int, deps map[int]struct{}) {
+		//lint:sorted commutative stats only: counts, running max, union-find component count
 		for i := range deps {
 			edges++
 			conflicted[i], conflicted[j] = true, true
@@ -147,6 +148,7 @@ func Build(txs []*ledger.Transaction, codes []ledger.ValidationCode, crdtEnabled
 	waveOf := make(map[int]int)
 	forEachDep(txs, plain, func(j int, deps map[int]struct{}) {
 		wave := 0
+		//lint:sorted running max over dep waves; iteration order cannot change it
 		for i := range deps {
 			if w := waveOf[i] + 1; w > wave {
 				wave = w

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
 	"io"
 	"testing"
@@ -106,7 +107,7 @@ func TestReadFrameRejections(t *testing.T) {
 
 	// Clean EOF at a frame boundary is NOT an error wrapped as corruption —
 	// it's how a closed connection reads.
-	if _, err := readFrame(bytes.NewReader(nil)); err != io.EOF {
+	if _, err := readFrame(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
 		t.Fatalf("empty reader: got %v, want io.EOF", err)
 	}
 
