@@ -49,25 +49,28 @@ test-wire: vet
 smoke-multiproc:
 	$(GO) test -run TestMultiProcessSmoke -v ./cmd/fabricnet
 
-BENCHES = 'BenchmarkCommitPipeline|BenchmarkCommitBackends|BenchmarkCommitChannels|BenchmarkCommitAsync|BenchmarkCommitFinalize'
+BENCHES = 'BenchmarkCommitPipeline|BenchmarkCommitBackends|BenchmarkCommitChannels|BenchmarkCommitAsync|BenchmarkCommitFinalize|BenchmarkCommitLSMCache'
 
 # Commit-pipeline benchmark; refreshes BENCH_commit.json.
 bench:
 	$(GO) test -run xxx -bench $(BENCHES) -benchtime=20x .
 
 # One quick pass of the commit benchmark per state backend (memory,
-# sharded, disk with and without the block store), the worker sweep, the
-# channel-scaling sweep (1/2/4/8 channels), the async-pipeline depth sweep
-# (0/1/2/4) and the finalize-scheduler sweep (conflict rate 0/25/100% at
-# 1/2/4/8 finalize workers) — enough for CI to refresh and archive
-# BENCH_commit.json without a long benchmark run.
+# sharded, disk with and without the block store, lsm), the worker sweep,
+# the channel-scaling sweep (1/2/4/8 channels), the async-pipeline depth
+# sweep (0/1/2/4), the finalize-scheduler sweep (conflict rate 0/25/100%
+# at 1/2/4/8 finalize workers) and the LSM block-cache pair (dataset
+# larger than the cache vs inside it) — enough for CI to refresh and
+# archive BENCH_commit.json without a long benchmark run.
 bench-smoke:
 	$(GO) test -run xxx -bench $(BENCHES) -benchtime=3x .
 
-# Short-budget coverage-guided fuzzing of the wire-frame decoder — enough
-# for CI to catch a decoder regression without a long fuzz run.
+# Short-budget coverage-guided fuzzing of the binary decoders — the
+# wire-frame decoder and the LSM sorted-run block decoder — enough for CI
+# to catch a decoder regression without a long fuzz run.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzReadFrame -fuzztime 10s ./internal/wire
+	$(GO) test -run xxx -fuzz FuzzRunDecode -fuzztime 10s ./internal/statedb
 
 # One short live-network run with durable peers and the block store on,
 # against a throwaway datadir — proves the -backend disk -persist-blocks

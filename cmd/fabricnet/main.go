@@ -15,16 +15,21 @@
 //	                             # durable peers, commits pipelined 4 deep
 //	fabricnet -backend disk -datadir ./net-state -persist-blocks=false
 //	                             # state checkpoint only, no block bodies
+//	fabricnet -backend lsm -datadir ./net-state -state-cache 64
+//	                             # log-structured state store, 64 MiB block
+//	                             # cache per channel (docs/STATEDB.md)
 //
 // Channels are the sharding unit: the workload generator assigns each
 // transaction a channel round-robin (workload.IoTParams.Channels), clients
 // submit through multi-channel clients, every channel orders and commits
 // independently, and the run reports per-channel block heights. With
-// -backend disk, rerunning with the same -datadir restores every peer's
-// world state and resumes each channel from its own recorded block height;
-// block bodies persist too by default (-persist-blocks), so restarted
-// peers keep serving their full history and can rebuild their world state
-// from block 0 (docs/PERSISTENCE.md).
+// -backend disk or -backend lsm, rerunning with the same -datadir restores
+// every peer's world state and resumes each channel from its own recorded
+// block height; block bodies persist too by default (-persist-blocks), so
+// restarted peers keep serving their full history and can rebuild their
+// world state from block 0 (docs/PERSISTENCE.md). The lsm backend
+// additionally keeps its resident memory independent of the keyspace —
+// world state can outgrow RAM, bounded by the -state-cache block cache.
 package main
 
 import (
@@ -57,10 +62,11 @@ func main() {
 		finalizeW   = flag.Int("finalize-workers", 0, "intra-block finalize workers per peer per channel: >1 validates non-conflicting transactions of a block concurrently along a dependency-graph schedule, 1 = serial finalize, 0 = inherit -workers (outcomes are identical at every setting)")
 		pipeline    = flag.Int("pipeline", 1, "async commit pipeline depth per (peer, channel): how many delivered blocks are decoded and endorsement-validated ahead of the serialized commit stage (0 = synchronous; outcomes are identical at every depth)")
 		shards      = flag.Int("shards", 1, "state database shards per peer (1 = single-lock map)")
-		backend     = flag.String("backend", "", "state backend per peer: memory|sharded|disk (default: memory, or sharded when -shards > 1)")
-		datadir     = flag.String("datadir", "", "data directory for -backend disk (one subdirectory per peer, then per channel)")
-		fsync       = flag.Bool("fsync", false, "fsync each peer's state log (and block log) after every committed block (-backend disk only): closes the power-loss window; the async pipeline hides the added latency")
-		persist     = flag.Bool("persist-blocks", true, "persist committed block bodies in each peer's durable block store (-backend disk only): restarted peers then serve their full history to lagging peers and can rebuild their world state from block 0")
+		backend     = flag.String("backend", "", "state backend per peer: memory|sharded|disk|lsm (default: memory, or sharded when -shards > 1)")
+		datadir     = flag.String("datadir", "", "data directory for -backend disk/lsm (one subdirectory per peer, then per channel)")
+		fsync       = flag.Bool("fsync", false, "fsync each peer's state log (and block log) after every committed block (-backend disk/lsm only): closes the power-loss window; the async pipeline hides the added latency")
+		persist     = flag.Bool("persist-blocks", true, "persist committed block bodies in each peer's durable block store (-backend disk/lsm only): restarted peers then serve their full history to lagging peers and can rebuild their world state from block 0")
+		stateCache  = flag.Int("state-cache", 0, "LSM block cache size in MiB per peer per channel (-backend lsm only; 0 = the 32 MiB default): bounds the memory spent caching sorted-run blocks for reads")
 		timings     = flag.Bool("timings", false, "print per-stage commit latencies per peer")
 
 		// Observability (docs/OBSERVABILITY.md), available in every role and
@@ -96,17 +102,17 @@ func main() {
 	switch *backend {
 	case "", fabriccrdt.BackendMemory, fabriccrdt.BackendSharded:
 		if *datadir != "" {
-			fatal(fmt.Errorf("-datadir is only used with -backend disk; nothing would be persisted"))
+			fatal(fmt.Errorf("-datadir is only used with -backend disk or lsm; nothing would be persisted"))
 		}
 		if *fsync {
-			fatal(fmt.Errorf("-fsync is only used with -backend disk; there is no log to sync"))
+			fatal(fmt.Errorf("-fsync is only used with -backend disk or lsm; there is no log to sync"))
 		}
 		if persistSet {
-			fatal(fmt.Errorf("-persist-blocks is only used with -backend disk; there is no durable store to hold block bodies"))
+			fatal(fmt.Errorf("-persist-blocks is only used with -backend disk or lsm; there is no durable store to hold block bodies"))
 		}
-	case fabriccrdt.BackendDisk:
+	case fabriccrdt.BackendDisk, fabriccrdt.BackendLSM:
 		if *datadir == "" {
-			fatal(fmt.Errorf("-backend disk requires -datadir"))
+			fatal(fmt.Errorf("-backend %s requires -datadir", *backend))
 		}
 		// Defaulted flag = Auto: block persistence on, but a datadir from
 		// before the block store is adopted checkpoint-only instead of
@@ -120,7 +126,13 @@ func main() {
 			persistBlocks = fabriccrdt.PersistBlocksOff
 		}
 	default:
-		fatal(fmt.Errorf("unknown -backend %q (want memory, sharded or disk)", *backend))
+		fatal(fmt.Errorf("unknown -backend %q (want memory, sharded, disk or lsm)", *backend))
+	}
+	if *stateCache < 0 {
+		fatal(fmt.Errorf("-state-cache must be >= 0 MiB (got %d)", *stateCache))
+	}
+	if *stateCache > 0 && *backend != fabriccrdt.BackendLSM {
+		fatal(fmt.Errorf("-state-cache is only used with -backend lsm; the other backends have no block cache"))
 	}
 	if *pipeline < 0 {
 		fatal(fmt.Errorf("-pipeline must be >= 0 (got %d)", *pipeline))
@@ -163,6 +175,7 @@ func main() {
 				DataDir:         *datadir,
 				PersistBlocks:   persistBlocks,
 				SyncEveryApply:  *fsync,
+				StateCacheBytes: int64(*stateCache) << 20,
 			},
 		})
 		if err != nil {
@@ -183,6 +196,7 @@ func main() {
 		DataDir:         *datadir,
 		PersistBlocks:   persistBlocks,
 		SyncEveryApply:  *fsync,
+		StateCacheBytes: int64(*stateCache) << 20,
 	}
 	net, err := fabriccrdt.NewNetwork(cfg)
 	if err != nil {

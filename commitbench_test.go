@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -151,6 +152,10 @@ type commitBenchEntry struct {
 	// PersistBlocks marks disk-backend runs with the durable block store
 	// on (one block-body append per commit beside the state log).
 	PersistBlocks bool `json:"persist_blocks,omitempty"`
+	// CacheBytes is the LSM backend's block-cache budget
+	// (BenchmarkCommitLSMCache; 0 = the statedb default, and for every
+	// other backend, which has no block cache).
+	CacheBytes int64 `json:"cache_bytes,omitempty"`
 	// Channels is how many channels committed concurrently (1 for the
 	// single-channel pipeline benchmarks). With N > 1, BlockTxs counts one
 	// block per channel, NsPerBlock is the wall time for the whole round
@@ -215,7 +220,7 @@ var (
 
 // benchKey is one configuration's identity in BENCH_commit.json.
 func benchKey(e commitBenchEntry) string {
-	return fmt.Sprintf("%v/%s/%d/%v/%d/%d/%d/%d/%d/%d", e.CRDT, e.Backend, e.Shards, e.PersistBlocks, e.Channels, e.Pipeline, e.BlockTxs, e.Workers, e.FinalizeWorkers, e.ConflictRate)
+	return fmt.Sprintf("%v/%s/%d/%v/%d/%d/%d/%d/%d/%d/%d", e.CRDT, e.Backend, e.Shards, e.PersistBlocks, e.CacheBytes, e.Channels, e.Pipeline, e.BlockTxs, e.Workers, e.FinalizeWorkers, e.ConflictRate)
 }
 
 // loadCommitBench seeds the in-memory result map from the committed
@@ -271,6 +276,9 @@ func recordCommitBench(b *testing.B, e commitBenchEntry) {
 		}
 		if a.PersistBlocks != c.PersistBlocks {
 			return !a.PersistBlocks
+		}
+		if a.CacheBytes != c.CacheBytes {
+			return a.CacheBytes < c.CacheBytes
 		}
 		if a.Channels != c.Channels {
 			return a.Channels < c.Channels
@@ -353,12 +361,15 @@ func BenchmarkCommitPipeline(b *testing.B) {
 }
 
 // BenchmarkCommitBackends measures the same staged pipeline with each
-// state backend behind it — the cost of durability (disk), the payoff of
-// shard-level locking vs the single-lock map, and the block store's
-// append overhead (persistblocks: disk with block-body persistence, the
-// disk backend's default configuration). CRDT on, 100-transaction blocks,
-// 4 workers; one fresh peer (and, for disk, a fresh data directory) per
-// iteration so the logs start empty every time.
+// state backend behind it — the cost of durability (disk, lsm), the
+// payoff of shard-level locking vs the single-lock map, and the block
+// store's append overhead (persistblocks: disk with block-body
+// persistence, the durable backends' default configuration). CRDT on,
+// 100-transaction blocks, 4 workers; one fresh peer (and, for the durable
+// backends, a fresh data directory) per iteration so the logs start empty
+// every time. The lsm entry here is the in-memtable baseline (one block
+// never triggers a flush); BenchmarkCommitLSMCache covers datasets that
+// spill to sorted runs and stress the block cache.
 func BenchmarkCommitBackends(b *testing.B) {
 	const blockTxs, workers = 100, 4
 	fix := newCommitFixture(b, true)
@@ -383,6 +394,10 @@ func BenchmarkCommitBackends(b *testing.B) {
 		{"persistblocks", peer.BackendDisk, 0, true, func(b *testing.B) peer.CommitterConfig {
 			return peer.CommitterConfig{Workers: workers, Backend: peer.BackendDisk, DataDir: b.TempDir(),
 				PersistBlocks: peer.PersistBlocksOn}
+		}},
+		{peer.BackendLSM, peer.BackendLSM, 0, false, func(b *testing.B) peer.CommitterConfig {
+			return peer.CommitterConfig{Workers: workers, Backend: peer.BackendLSM, DataDir: b.TempDir(),
+				PersistBlocks: peer.PersistBlocksOff}
 		}},
 	}
 	for _, backend := range backends {
@@ -655,6 +670,132 @@ func BenchmarkCommitFinalize(b *testing.B) {
 				}.obsSnapshot(lastPeer))
 			})
 		}
+	}
+}
+
+// endorsedWideStream assembles nBlocks hash-chained blocks of txsPerBlock
+// CRDT transactions cycling over nKeys distinct device keys, each reading
+// padded to padBytes — a stream whose committed world state outgrows the
+// LSM memtable (so it spills to sorted runs) and whose second pass over
+// the keyspace re-reads every spilled document through the block cache.
+func (f *commitFixture) endorsedWideStream(b *testing.B, nBlocks, txsPerBlock, nKeys, padBytes int) []*ledger.Block {
+	b.Helper()
+	creator, err := f.client.Identity.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	channelID := f.channels[0]
+	chain, err := f.endorser.ChainOn(channelID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pad := strings.Repeat("x", padBytes)
+	assembler := orderer.NewAssembler(chain.Last())
+	blocks := make([]*ledger.Block, 0, nBlocks)
+	for blk := 0; blk < nBlocks; blk++ {
+		txs := make([]*ledger.Transaction, txsPerBlock)
+		for i := range txs {
+			idx := blk*txsPerBlock + i
+			txID := fmt.Sprintf("wide-%d-%d", blk, i)
+			args := [][]byte{[]byte("record"),
+				[]byte(fmt.Sprintf("wide-%04d", idx%nKeys)),
+				[]byte(fmt.Sprintf("%s-%d", pad, idx))}
+			resp, err := f.endorser.Endorse(peer.Proposal{
+				TxID: txID, ChannelID: channelID, Chaincode: "bench", Args: args, Creator: creator,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			txs[i] = &ledger.Transaction{
+				ID: txID, ChannelID: channelID, Chaincode: "bench", Creator: creator, Args: args,
+				RWSet:        resp.RWSet,
+				Endorsements: []ledger.Endorsement{{Endorser: resp.Endorser, Signature: resp.Signature}},
+			}
+		}
+		block, err := assembler.Assemble(orderer.Batch{Transactions: txs, Reason: orderer.CutMaxMessages})
+		if err != nil {
+			b.Fatal(err)
+		}
+		blocks = append(blocks, block)
+	}
+	return blocks
+}
+
+// BenchmarkCommitLSMCache drives the LSM backend with a committed dataset
+// LARGER than its block cache, then with the cache comfortably oversized —
+// the pair of BENCH_commit.json entries that prices cache pressure. The
+// stream writes ~512 ten-KiB CRDT documents (spilling the 4 MiB memtable
+// into sorted runs mid-stream, asserted via Stats), then revisits every
+// key, so each merge re-reads its document through the cache: at 64 KiB
+// the working set evicts constantly, at 64 MiB every block load after the
+// first is a hit. One fresh peer and data directory per iteration.
+func BenchmarkCommitLSMCache(b *testing.B) {
+	const (
+		nBlocks  = 32
+		blockTxs = 32
+		nKeys    = 512
+		padBytes = 10 << 10
+		workers  = 4
+	)
+	fix := newCommitFixture(b, true)
+	blocks := fix.endorsedWideStream(b, nBlocks, blockTxs, nKeys, padBytes)
+	for _, tc := range []struct {
+		label      string
+		cacheBytes int64
+	}{
+		{"cache-smaller-than-dataset", 64 << 10},
+		{"cache-larger-than-dataset", 64 << 20},
+	} {
+		b.Run(tc.label, func(b *testing.B) {
+			var total time.Duration
+			var lastPeer *peer.Peer
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				p := fix.newPeer(b, peer.CommitterConfig{
+					Workers: workers, Backend: peer.BackendLSM, DataDir: b.TempDir(),
+					PersistBlocks: peer.PersistBlocksOff, StateCacheBytes: tc.cacheBytes,
+				})
+				lastPeer = p
+				b.StartTimer()
+				start := time.Now()
+				for _, blk := range blocks {
+					res, err := p.CommitBlock(blk)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.CommittedTx != blockTxs {
+						b.Fatalf("block %d committed %d/%d", blk.Header.Number, res.CommittedTx, blockTxs)
+					}
+				}
+				total += time.Since(start)
+				b.StopTimer()
+				st, ok := p.DB().Stats()
+				if !ok {
+					b.Fatal("LSM backend reported no stats")
+				}
+				if st.Flushes == 0 {
+					b.Fatal("dataset never spilled the memtable: the benchmark is not exercising sorted runs")
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(st.Flushes), "flushes")
+					b.ReportMetric(float64(st.CacheHits), "cache_hits")
+					b.ReportMetric(float64(st.CacheMisses), "cache_misses")
+				}
+				if err := p.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			nsPerBlock := total.Nanoseconds() / int64(b.N) / nBlocks
+			txPerSec := float64(nBlocks*blockTxs) / (float64(total.Nanoseconds()) / float64(b.N) / 1e9)
+			b.ReportMetric(txPerSec, "tx/s")
+			recordCommitBench(b, commitBenchEntry{
+				CRDT: true, Backend: peer.BackendLSM, CacheBytes: tc.cacheBytes,
+				BlockTxs: blockTxs, Workers: workers,
+				NsPerBlock: nsPerBlock, TxPerSec: txPerSec,
+			}.obsSnapshot(lastPeer))
+		})
 	}
 }
 

@@ -53,9 +53,10 @@ type (
 	// depth (Pipeline: how many delivered blocks are decoded and
 	// endorsement-validated ahead of the serialized commit stage; 0 =
 	// synchronous), the world-state backend (Backend/StateShards/
-	// DataDir/SyncEveryApply — see the Backend* constants) and the durable
-	// block store (PersistBlocks — see the PersistBlocks* constants; on by
-	// default with BackendDisk) and the intra-block finalize scheduler
+	// DataDir/SyncEveryApply/StateCacheBytes — see the Backend* constants)
+	// and the durable block store (PersistBlocks — see the PersistBlocks*
+	// constants; on by default with the durable backends BackendDisk and
+	// BackendLSM) and the intra-block finalize scheduler
 	// (FinalizeWorkers: >1 validates non-conflicting transactions of one
 	// block concurrently along a dependency-graph wavefront schedule, with
 	// the CRDT merge running beside MVCC validation; 1 = serial; 0 inherits
@@ -89,20 +90,26 @@ const (
 	// directory resume from the recorded block height instead of
 	// replaying the chain.
 	BackendDisk = peer.BackendDisk
+	// BackendLSM persists the world state under CommitterConfig.DataDir as
+	// a log-structured store (memtable + sorted runs + bloom filters +
+	// block cache; docs/STATEDB.md). Resumes like BackendDisk, but opening
+	// never rebuilds a full in-memory index, so world state can outgrow
+	// RAM. CommitterConfig.StateCacheBytes bounds its block cache.
+	BackendLSM = peer.BackendLSM
 )
 
-// Block-body persistence modes for CommitterConfig.PersistBlocks (disk
-// backend only; see docs/PERSISTENCE.md). With the block store on — the
-// disk backend's default — the ledger is the recovery root: a restarted
+// Block-body persistence modes for CommitterConfig.PersistBlocks (durable
+// backends only; see docs/PERSISTENCE.md). With the block store on — the
+// durable backends' default — the ledger is the recovery root: a restarted
 // peer serves its full history to syncing peers and Peer.RebuildState
 // replays the persisted chain into a byte-identical world state.
 const (
 	// PersistBlocksAuto (the zero value) enables the block store whenever
-	// the backend is BackendDisk; a data directory from before block
-	// persistence is adopted as-is (checkpoint-only resume) instead of
-	// refused.
+	// the backend is durable (BackendDisk or BackendLSM); a data directory
+	// from before block persistence is adopted as-is (checkpoint-only
+	// resume) instead of refused.
 	PersistBlocksAuto = peer.PersistBlocksAuto
-	// PersistBlocksOn requires the block store (BackendDisk only).
+	// PersistBlocksOn requires the block store (durable backends only).
 	PersistBlocksOn = peer.PersistBlocksOn
 	// PersistBlocksOff keeps the state-checkpoint-only durability: a
 	// restarted peer resumes committing but cannot serve pre-restart

@@ -98,7 +98,9 @@ func TestNewRuntimeRejectsBadBackendConfig(t *testing.T) {
 	for name, committer := range map[string]CommitterConfig{
 		"unknown-backend":       {Backend: "couchdb"},
 		"disk-no-datadir":       {Backend: BackendDisk},
+		"lsm-no-datadir":        {Backend: BackendLSM},
 		"misspelled-entry":      {Backend: "Memory"},
+		"misspelled-lsm":        {Backend: "LSM"},
 		"blocks-on-memory":      {Backend: BackendMemory, PersistBlocks: PersistBlocksOn},
 		"blocks-on-no-backend":  {PersistBlocks: PersistBlocksOn},
 		"blocks-unknown-mode":   {Backend: BackendDisk, DataDir: t.TempDir(), PersistBlocks: "bogus"},
@@ -116,6 +118,10 @@ func TestNewRuntimeRejectsBadBackendConfig(t *testing.T) {
 		{Backend: BackendDisk, DataDir: t.TempDir()},
 		{Backend: BackendDisk, DataDir: t.TempDir(), PersistBlocks: PersistBlocksOn},
 		{Backend: BackendDisk, DataDir: t.TempDir(), PersistBlocks: PersistBlocksOff},
+		{Backend: BackendLSM, DataDir: t.TempDir()},
+		{Backend: BackendLSM, DataDir: t.TempDir(), PersistBlocks: PersistBlocksOn},
+		{Backend: BackendLSM, DataDir: t.TempDir(), PersistBlocks: PersistBlocksOff},
+		{Backend: BackendLSM, DataDir: t.TempDir(), StateCacheBytes: 1 << 20},
 		{Backend: BackendMemory, PersistBlocks: PersistBlocksOff},
 	} {
 		rt, err := NewRuntime("ch1", committer, core.Options{})

@@ -21,20 +21,27 @@ const (
 	// DataDir. A peer reopening the same DataDir resumes every channel
 	// from its last committed block instead of replaying the chain.
 	BackendDisk = "disk"
+	// BackendLSM is the log-structured persistent backend (memtable +
+	// sorted runs + bloom filters + block cache, docs/STATEDB.md);
+	// requires DataDir. Unlike BackendDisk it never rebuilds a full
+	// in-memory index — open cost and resident memory stay independent of
+	// the keyspace, so world state can outgrow RAM.
+	BackendLSM = "lsm"
 )
 
 // Block-body persistence modes for CommitterConfig.PersistBlocks.
 const (
 	// PersistBlocksAuto (the zero value) persists block bodies whenever
-	// the backend is BackendDisk — the ledger is the recovery root — and
-	// skips them on in-memory backends, which have nowhere durable to put
-	// them. A disk store that already holds committed state but no block
-	// log (created before block persistence, or with it off) is adopted
-	// as-is: it keeps resuming checkpoint-only rather than being refused.
+	// the backend is durable (BackendDisk or BackendLSM) — the ledger is
+	// the recovery root — and skips them on in-memory backends, which have
+	// nowhere durable to put them. A durable store that already holds
+	// committed state but no block log (created before block persistence,
+	// or with it off) is adopted as-is: it keeps resuming checkpoint-only
+	// rather than being refused.
 	PersistBlocksAuto = ""
 	// PersistBlocksOn requires the durable block store; it is only valid
-	// with BackendDisk, and a store whose committed bodies are missing is
-	// refused rather than adopted.
+	// with BackendDisk or BackendLSM, and a store whose committed bodies
+	// are missing is refused rather than adopted.
 	PersistBlocksOn = "on"
 	// PersistBlocksOff keeps the state-checkpoint-only durability of the
 	// disk backend: a restarted peer resumes committing but cannot serve
@@ -79,15 +86,22 @@ type CommitterConfig struct {
 	// independently locked shards; 0 or 1 keeps the trivial single-lock
 	// map backend. Ignored unless Backend is "" or BackendSharded.
 	StateShards int
-	// Backend names the statedb backend: BackendMemory, BackendSharded or
-	// BackendDisk. Empty keeps the historical behavior (sharded when
-	// StateShards > 1, memory otherwise). Unknown names fail construction.
+	// Backend names the statedb backend: BackendMemory, BackendSharded,
+	// BackendDisk or BackendLSM. Empty keeps the historical behavior
+	// (sharded when StateShards > 1, memory otherwise). Unknown names fail
+	// construction.
 	Backend string
-	// DataDir is the disk backend's data directory (required for
-	// BackendDisk, unused otherwise). Each peer needs its own directory;
-	// fabricnet derives per-peer subdirectories automatically. Each channel
-	// persists under DataDir/<channel-ID>.
+	// DataDir is the durable backends' data directory (required for
+	// BackendDisk and BackendLSM, unused otherwise). Each peer needs its
+	// own directory; fabricnet derives per-peer subdirectories
+	// automatically. Each channel persists under DataDir/<channel-ID>.
 	DataDir string
+	// StateCacheBytes bounds the LSM backend's block cache (BackendLSM
+	// only; 0 = the statedb default, currently 32 MiB). The cache holds
+	// decoded run blocks for point reads and range scans; sizing it below
+	// the hot set trades read latency for resident memory
+	// (docs/STATEDB.md).
+	StateCacheBytes int64
 	// PersistBlocks controls the durable block store
 	// (internal/blockstore): committed block bodies, validation codes
 	// included, appended under DataDir/<channel-ID>/blocks in the finalize
@@ -100,14 +114,21 @@ type CommitterConfig struct {
 	// the pre-block-store behaviour). See DESIGN.md §8 and
 	// docs/PERSISTENCE.md.
 	PersistBlocks string
-	// SyncEveryApply makes the disk backend fsync its state log — and the
-	// block store, when PersistBlocks is on — after every committed block,
-	// closing the power-loss durability window at the cost of fsyncs per
-	// block (DESIGN.md §4). Disk backend only. This is the configuration
+	// SyncEveryApply makes the durable backends fsync their state log
+	// (BackendDisk) or write-ahead log (BackendLSM) — and the block store,
+	// when PersistBlocks is on — after every committed block, closing the
+	// power-loss durability window at the cost of fsyncs per block
+	// (DESIGN.md §4). Durable backends only. This is the configuration
 	// where the async commit pipeline pays off even on a single core:
 	// block N's fsync wait is hidden behind block N+1's decode +
 	// endorsement validation (DESIGN.md §7).
 	SyncEveryApply bool
+}
+
+// durableBackend reports whether the configured state backend persists to
+// DataDir (and so has somewhere for the block store to live beside it).
+func (c CommitterConfig) durableBackend() bool {
+	return c.Backend == BackendDisk || c.Backend == BackendLSM
 }
 
 // blockPersistence resolves the PersistBlocks knob against the selected
@@ -115,10 +136,10 @@ type CommitterConfig struct {
 func (c CommitterConfig) blockPersistence() (bool, error) {
 	switch c.PersistBlocks {
 	case PersistBlocksAuto:
-		return c.Backend == BackendDisk, nil
+		return c.durableBackend(), nil
 	case PersistBlocksOn:
-		if c.Backend != BackendDisk {
-			return false, fmt.Errorf("PersistBlocks %q requires the %s backend (got %q): block bodies persist beside the state store", PersistBlocksOn, BackendDisk, c.Backend)
+		if !c.durableBackend() {
+			return false, fmt.Errorf("PersistBlocks %q requires the %s or %s backend (got %q): block bodies persist beside the state store", PersistBlocksOn, BackendDisk, BackendLSM, c.Backend)
 		}
 		return true, nil
 	case PersistBlocksOff:
@@ -187,8 +208,21 @@ func newStateDB(channelID string, c CommitterConfig, beforeCompact func() error)
 		}
 		return statedb.NewDiskWithOptions(filepath.Join(c.DataDir, channelID),
 			statedb.DiskOptions{SyncEveryApply: c.SyncEveryApply, BeforeCompact: beforeCompact})
+	case BackendLSM:
+		if c.DataDir == "" {
+			return nil, errors.New("lsm state backend requires CommitterConfig.DataDir")
+		}
+		if err := rejectLegacyStore(c.DataDir); err != nil {
+			return nil, err
+		}
+		return statedb.NewLSMWithOptions(filepath.Join(c.DataDir, channelID),
+			statedb.LSMOptions{
+				CacheBytes:     c.StateCacheBytes,
+				SyncEveryApply: c.SyncEveryApply,
+				BeforeCompact:  beforeCompact,
+			})
 	default:
-		return nil, fmt.Errorf("unknown state backend %q (want %s, %s or %s)",
-			c.Backend, BackendMemory, BackendSharded, BackendDisk)
+		return nil, fmt.Errorf("unknown state backend %q (want %s, %s, %s or %s)",
+			c.Backend, BackendMemory, BackendSharded, BackendDisk, BackendLSM)
 	}
 }

@@ -94,11 +94,11 @@ type Runtime struct {
 
 // NewRuntime opens one channel's world state, block store and chain. It
 // fails when the configured state backend or block persistence setting is
-// invalid, or a store cannot be opened (the disk backend needs a usable
+// invalid, or a store cannot be opened (the durable backends need a usable
 // DataDir; the channel's stores live under DataDir/<id>).
 //
-// With the disk backend, a runtime constructed over a previously used
-// directory resumes from the persisted state: Height reports the last
+// With a durable backend (disk or lsm), a runtime constructed over a
+// previously used directory resumes from the persisted state: Height reports the last
 // durably committed block, and the chain restarts from the recorded
 // checkpoint instead of genesis — backed by the block store when block
 // persistence is on, so the pre-restart history stays servable. Opening
@@ -110,14 +110,14 @@ func NewRuntime(id string, committer CommitterConfig, engineOpts core.Options) (
 	if err != nil {
 		return nil, fmt.Errorf("channel %s: %w", id, err)
 	}
-	// persist implies the disk backend: enforce its preconditions (the
-	// ones newStateDB would catch) BEFORE any store is opened, so a
-	// refused configuration creates nothing on disk — notably no empty
-	// blocks/ directory inside a legacy-layout datadir, which would
-	// dead-end the legacy migration hint on the rerun.
+	// persist implies a durable backend (disk or lsm): enforce its
+	// preconditions (the ones newStateDB would catch) BEFORE any store is
+	// opened, so a refused configuration creates nothing on disk — notably
+	// no empty blocks/ directory inside a legacy-layout datadir, which
+	// would dead-end the legacy migration hint on the rerun.
 	if persist {
 		if committer.DataDir == "" {
-			return nil, fmt.Errorf("channel %s: disk state backend requires CommitterConfig.DataDir", id)
+			return nil, fmt.Errorf("channel %s: %s state backend requires CommitterConfig.DataDir", id, committer.Backend)
 		}
 		if err := rejectLegacyStore(committer.DataDir); err != nil {
 			return nil, fmt.Errorf("channel %s: %w", id, err)
@@ -176,16 +176,24 @@ func NewRuntime(id string, committer CommitterConfig, engineOpts core.Options) (
 	return rt, nil
 }
 
-// stateHasCommits reports whether a disk channel directory holds a state
-// store with at least one committed batch, without opening it: a
-// non-empty state.log (one frame per committed block) or a compacted
-// snapshot (only ever written after commits).
+// stateHasCommits reports whether a durable channel directory holds a
+// state store with at least one committed batch, without opening it. For
+// the disk backend: a non-empty state.log (one frame per committed block)
+// or a compacted snapshot (only ever written after commits). For the LSM
+// backend: a non-empty wal.log or a MANIFEST (only ever written by a
+// flush, which only follows commits).
 func stateHasCommits(chDir string) bool {
-	if info, err := os.Stat(filepath.Join(chDir, "state.log")); err == nil && info.Size() > 0 {
-		return true
+	for _, name := range []string{"state.log", "wal.log"} {
+		if info, err := os.Stat(filepath.Join(chDir, name)); err == nil && info.Size() > 0 {
+			return true
+		}
 	}
-	_, err := os.Stat(filepath.Join(chDir, "state.snap"))
-	return err == nil
+	for _, name := range []string{"state.snap", "MANIFEST"} {
+		if _, err := os.Stat(filepath.Join(chDir, name)); err == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // recoverChain derives the channel's chain from the durable state and,

@@ -73,9 +73,10 @@ type Config struct {
 	// EngineOptions tunes the merge engine on every peer.
 	EngineOptions core.Options
 	// Committer tunes every peer's staged commit pipeline (validation
-	// worker pool, statedb backend selection and sharding). With
-	// Backend == peer.BackendDisk, Committer.DataDir is the shared root
-	// directory; each peer persists under DataDir/<peer-name> (and each
+	// worker pool, statedb backend selection and sharding). With a durable
+	// Backend (peer.BackendDisk or peer.BackendLSM), Committer.DataDir is
+	// the shared root directory; each peer persists under
+	// DataDir/<peer-name> (and each
 	// channel under DataDir/<peer-name>/<channel-ID>), so rebuilding a
 	// network over the same root restores every peer's world state and
 	// per-channel resume heights.
@@ -173,7 +174,8 @@ func New(cfg Config) (*Network, error) {
 				return nil, fmt.Errorf("fabricnet: issuing identity for %s: %w", name, err)
 			}
 			committer := cfg.Committer
-			if committer.Backend == peer.BackendDisk && committer.DataDir != "" {
+			durable := committer.Backend == peer.BackendDisk || committer.Backend == peer.BackendLSM
+			if durable && committer.DataDir != "" {
 				// Each peer owns a private store under the shared root —
 				// one DataDir knob configures the whole network.
 				committer.DataDir = filepath.Join(cfg.Committer.DataDir, name)

@@ -26,15 +26,19 @@ const (
 	MetricSchedWaves      = "fabriccrdt_sched_mvcc_waves_total"     // counter{peer}
 
 	// State and block stores (per-peer registries; labels peer, channel).
-	MetricStatedbKeys        = "fabriccrdt_statedb_keys"              // gauge{peer,channel}
-	MetricStatedbLogBytes    = "fabriccrdt_statedb_log_bytes"         // gauge{peer,channel}
-	MetricStatedbAppends     = "fabriccrdt_statedb_appends_total"     // counter{peer,channel}
-	MetricStatedbFsyncs      = "fabriccrdt_statedb_fsyncs_total"      // counter{peer,channel}
-	MetricStatedbCompactions = "fabriccrdt_statedb_compactions_total" // counter{peer,channel}
-	MetricBlockstoreHeight   = "fabriccrdt_blockstore_height"         // gauge{peer,channel}
-	MetricBlockstoreLogBytes = "fabriccrdt_blockstore_log_bytes"      // gauge{peer,channel}
-	MetricBlockstoreAppends  = "fabriccrdt_blockstore_appends_total"  // counter{peer,channel}
-	MetricBlockstoreFsyncs   = "fabriccrdt_blockstore_fsyncs_total"   // counter{peer,channel}
+	MetricStatedbKeys        = "fabriccrdt_statedb_keys"               // gauge{peer,channel}
+	MetricStatedbLogBytes    = "fabriccrdt_statedb_log_bytes"          // gauge{peer,channel}
+	MetricStatedbAppends     = "fabriccrdt_statedb_appends_total"      // counter{peer,channel}
+	MetricStatedbFsyncs      = "fabriccrdt_statedb_fsyncs_total"       // counter{peer,channel}
+	MetricStatedbCompactions = "fabriccrdt_statedb_compactions_total"  // counter{peer,channel}
+	MetricStatedbFlushes     = "fabriccrdt_statedb_flushes_total"      // counter{peer,channel} (LSM)
+	MetricStatedbRuns        = "fabriccrdt_statedb_runs"               // gauge{peer,channel} (LSM)
+	MetricStatedbCacheHits   = "fabriccrdt_statedb_cache_hits_total"   // counter{peer,channel} (LSM)
+	MetricStatedbCacheMisses = "fabriccrdt_statedb_cache_misses_total" // counter{peer,channel} (LSM)
+	MetricBlockstoreHeight   = "fabriccrdt_blockstore_height"          // gauge{peer,channel}
+	MetricBlockstoreLogBytes = "fabriccrdt_blockstore_log_bytes"       // gauge{peer,channel}
+	MetricBlockstoreAppends  = "fabriccrdt_blockstore_appends_total"   // counter{peer,channel}
+	MetricBlockstoreFsyncs   = "fabriccrdt_blockstore_fsyncs_total"    // counter{peer,channel}
 
 	// Unbounded handoff queues (scrape-time depth gauges).
 	MetricOrdererQueueDepth  = "fabriccrdt_orderer_fanout_queue_depth" // gauge{channel}

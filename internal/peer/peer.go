@@ -307,6 +307,24 @@ func (p *Peer) registerMetrics() {
 				st, _ := rt.DB().Stats()
 				return float64(st.Compactions)
 			}, "peer", name, "channel", id)
+			// LSM-only series (always zero on the disk backend, which has
+			// no memtable flushes, sorted runs or block cache).
+			p.reg.CounterFunc(obs.MetricStatedbFlushes, func() float64 {
+				st, _ := rt.DB().Stats()
+				return float64(st.Flushes)
+			}, "peer", name, "channel", id)
+			p.reg.GaugeFunc(obs.MetricStatedbRuns, func() float64 {
+				st, _ := rt.DB().Stats()
+				return float64(st.Runs)
+			}, "peer", name, "channel", id)
+			p.reg.CounterFunc(obs.MetricStatedbCacheHits, func() float64 {
+				st, _ := rt.DB().Stats()
+				return float64(st.CacheHits)
+			}, "peer", name, "channel", id)
+			p.reg.CounterFunc(obs.MetricStatedbCacheMisses, func() float64 {
+				st, _ := rt.DB().Stats()
+				return float64(st.CacheMisses)
+			}, "peer", name, "channel", id)
 		}
 		if bs := rt.Blocks(); bs != nil {
 			p.reg.GaugeFunc(obs.MetricBlockstoreHeight,

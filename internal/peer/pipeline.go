@@ -30,6 +30,11 @@ const (
 	// DataDir. A peer reopening the same DataDir resumes every channel
 	// from its last committed block instead of replaying the chain.
 	BackendDisk = channel.BackendDisk
+	// BackendLSM is the log-structured persistent backend (memtable +
+	// sorted runs + bloom filters + block cache, docs/STATEDB.md);
+	// requires DataDir. Resumes like BackendDisk, but never rebuilds a
+	// full in-memory index on open, so world state can outgrow RAM.
+	BackendLSM = channel.BackendLSM
 )
 
 // Block-body persistence modes for CommitterConfig.PersistBlocks (aliases
@@ -39,9 +44,9 @@ const (
 // world state from block 0 (RebuildState). DESIGN.md §8.
 const (
 	// PersistBlocksAuto enables the block store iff the backend is
-	// BackendDisk.
+	// durable (BackendDisk or BackendLSM).
 	PersistBlocksAuto = channel.PersistBlocksAuto
-	// PersistBlocksOn requires the block store (BackendDisk only).
+	// PersistBlocksOn requires the block store (durable backends only).
 	PersistBlocksOn = channel.PersistBlocksOn
 	// PersistBlocksOff keeps the state-checkpoint-only durability.
 	PersistBlocksOff = channel.PersistBlocksOff

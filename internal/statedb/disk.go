@@ -132,6 +132,14 @@ func openDisk(dir string, opts DiskOptions) (*diskBackend, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("statedb: creating data dir: %w", err)
 	}
+	// Refuse a directory holding an LSM store: opening it as the
+	// log+snapshot backend would silently present an empty state while the
+	// real one sits in files this backend never reads.
+	for _, name := range []string{manifestFileName, walFileName} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return nil, fmt.Errorf("statedb: %s holds an LSM store (%s exists); refusing to open it as the disk backend", dir, name)
+		}
+	}
 	b := &diskBackend{
 		dir:  dir,
 		opts: opts.normalized(),
@@ -218,6 +226,24 @@ func (b *diskBackend) openAndReplayLog() error {
 // The error (if any) describes why reading stopped early; io.EOF at a
 // frame boundary is clean termination and returns a nil error.
 func (b *diskBackend) replayRecords(r io.Reader) (int64, error) {
+	return scanFrames(r, func(payload []byte) error {
+		updates, meta, height, err := decodeBatch(payload)
+		if err != nil {
+			return fmt.Errorf("record decode: %w", err)
+		}
+		applyToMaps(b.data, b.meta, updates, meta)
+		b.height = height
+		return nil
+	})
+}
+
+// scanFrames reads a stream of framed records ([4B length][4B CRC32C]
+// [payload]) from r, calling apply for each intact payload, and returns
+// the offset just past the last intact frame. io.EOF at a frame boundary
+// is clean termination (nil error); a torn or corrupt tail — or an apply
+// rejection — stops the scan with a descriptive error. Shared by the disk
+// backend's log/snapshot replay and the LSM backend's WAL replay.
+func scanFrames(r io.Reader, apply func(payload []byte) error) (int64, error) {
 	var off int64
 	var header [frameHeaderLen]byte
 	for {
@@ -239,14 +265,21 @@ func (b *diskBackend) replayRecords(r io.Reader) (int64, error) {
 		if crc32.Checksum(payload, crcTable) != sum {
 			return off, fmt.Errorf("record CRC mismatch at offset %d", off)
 		}
-		updates, meta, height, err := decodeBatch(payload)
-		if err != nil {
-			return off, fmt.Errorf("record decode at offset %d: %w", off, err)
+		if err := apply(payload); err != nil {
+			return off, fmt.Errorf("%w at offset %d", err, off)
 		}
-		applyToMaps(b.data, b.meta, updates, meta)
-		b.height = height
 		off += frameHeaderLen + int64(length)
 	}
+}
+
+// frameRecord wraps one payload in the statedb frame: [4B little-endian
+// length][4B CRC32-Castagnoli][payload].
+func frameRecord(payload []byte) []byte {
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeaderLen:], payload)
+	return frame
 }
 
 func (b *diskBackend) Get(key string) (VersionedValue, bool) {
@@ -349,11 +382,7 @@ func (b *diskBackend) appendFrame(payload []byte) error {
 	if len(payload) > maxRecordBytes {
 		return fmt.Errorf("statedb: batch record of %d bytes exceeds the %d-byte record limit", len(payload), maxRecordBytes)
 	}
-	frame := make([]byte, frameHeaderLen+len(payload))
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
-	copy(frame[frameHeaderLen:], payload)
-	n, err := b.log.Write(frame)
+	n, err := b.log.Write(frameRecord(payload))
 	b.logSize += int64(n)
 	if err != nil {
 		return fmt.Errorf("statedb: appending to log: %w", err)

@@ -1,0 +1,117 @@
+package statedb
+
+import (
+	"container/list"
+	"sync"
+)
+
+// blockCache is a byte-budgeted LRU over decoded run blocks, keyed by
+// (run sequence, block offset). It exists so hot CRDT documents — re-read
+// and re-merged block after block — skip both the disk read and the frame
+// decode on repeated access. It has its own mutex: reads holding the LSM
+// backend's RLock still need to move entries to the LRU front.
+type blockCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List // front = most recently used
+	elems  map[blockCacheKey]*list.Element
+	hits   int64
+	misses int64
+}
+
+type blockCacheKey struct {
+	seq uint64
+	off int64
+}
+
+type blockCacheEntry struct {
+	key     blockCacheKey
+	entries []runEntry
+	size    int64
+}
+
+func newBlockCache(budget int64) *blockCache {
+	return &blockCache{
+		budget: budget,
+		ll:     list.New(),
+		elems:  make(map[blockCacheKey]*list.Element),
+	}
+}
+
+func (c *blockCache) get(seq uint64, off int64) ([]runEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.elems[blockCacheKey{seq: seq, off: off}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*blockCacheEntry).entries, true
+}
+
+func (c *blockCache) put(seq uint64, off int64, entries []runEntry) {
+	var size int64
+	for _, e := range entries {
+		size += int64(runEntrySize(e))
+	}
+	if size > c.budget {
+		return // a block larger than the whole budget would just thrash
+	}
+	key := blockCacheKey{seq: seq, off: off}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.elems[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*blockCacheEntry).entries = entries
+		return
+	}
+	c.elems[key] = c.ll.PushFront(&blockCacheEntry{key: key, entries: entries, size: size})
+	c.used += size
+	for c.used > c.budget {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		c.evict(el)
+	}
+}
+
+func (c *blockCache) evict(el *list.Element) {
+	ent := el.Value.(*blockCacheEntry)
+	c.ll.Remove(el)
+	delete(c.elems, ent.key)
+	c.used -= ent.size
+}
+
+// purge drops every cached block belonging to the given run sequences —
+// called when compaction deletes the underlying files.
+func (c *blockCache) purge(seqs map[uint64]bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if seqs[el.Value.(*blockCacheEntry).key.seq] {
+			c.evict(el)
+		}
+	}
+}
+
+// purgeAll drops everything (Reset).
+func (c *blockCache) purgeAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.elems = make(map[blockCacheKey]*list.Element)
+	c.used = 0
+}
+
+// counters returns lifetime hit/miss counts and current resident bytes.
+func (c *blockCache) counters() (hits, misses, used int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.used
+}

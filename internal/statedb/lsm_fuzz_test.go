@@ -1,0 +1,106 @@
+package statedb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"fabriccrdt/internal/rwset"
+)
+
+// validRunBlockBytes encodes one well-formed data block for seeding.
+func validRunBlockBytes() []byte {
+	return encodeRunBlock([]runEntry{
+		{ikey: "dalpha", value: []byte(`{"doc":1}`), version: rwset.Version{BlockNum: 3, TxNum: 1}},
+		{ikey: "dbeta", tombstone: true, version: rwset.Version{BlockNum: 4, TxNum: 0}},
+		{ikey: "dgamma", value: []byte{}, version: rwset.Version{BlockNum: 5, TxNum: 9}},
+		{ikey: "mcrdt/alpha", value: []byte{0x00, 0xFF, 0x10}, version: rwset.Version{}},
+	})
+}
+
+// FuzzRunDecode holds the sorted-run block decoder to its contract on
+// arbitrary input: error, never panic, never allocate beyond a plausible
+// entry count — and whatever decodes re-encodes to the identical bytes
+// (the codec is bijective on valid blocks, so cached blocks and
+// compaction rewrites can never drift from the on-disk form). Mirrors
+// internal/wire's FuzzReadFrame; the committed corpus lives under
+// testdata/fuzz/FuzzRunDecode.
+func FuzzRunDecode(f *testing.F) {
+	valid := validRunBlockBytes()
+	f.Add(valid)
+	f.Add(valid[:3])            // truncated inside the entry count
+	f.Add(valid[:4])            // count only, no entries
+	f.Add(valid[:9])            // truncated inside the first entry header
+	f.Add(valid[:len(valid)-1]) // truncated inside the last value
+	f.Add([]byte{})             // empty input
+	f.Add(encodeRunBlock(nil))  // a legitimate empty block
+
+	badFlags := append([]byte(nil), valid...)
+	badFlags[4] |= 0x80 // unknown flag bit on the first entry
+	f.Add(badFlags)
+
+	trailing := append(append([]byte(nil), valid...), 0xEE, 0xEE)
+	f.Add(trailing)
+
+	hugeCount := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(hugeCount[0:4], 0xFFFFFFFF)
+	f.Add(hugeCount)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := decodeRunBlock(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(encodeRunBlock(entries), data) {
+			t.Fatalf("decode/encode round trip diverged on %x", data)
+		}
+	})
+}
+
+// TestRunBlockRejections pins each rejection path deterministically (the
+// fuzz corpus exercises them too, but these run on every plain `go test`).
+func TestRunBlockRejections(t *testing.T) {
+	valid := validRunBlockBytes()
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"TruncatedCount", func(b []byte) []byte { return b[:3] }},
+		{"TruncatedEntryHeader", func(b []byte) []byte { return b[:9] }},
+		{"TruncatedValue", func(b []byte) []byte { return b[:len(b)-1] }},
+		{"UnknownFlags", func(b []byte) []byte { b[4] |= 0x80; return b }},
+		{"TrailingJunk", func(b []byte) []byte { return append(b, 0xEE) }},
+		{"ImplausibleCount", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[0:4], 0xFFFFFFFF)
+			return b
+		}},
+		{"CountBeyondEntries", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[0:4], 5) // file has 4
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte(nil), valid...))
+			if _, err := decodeRunBlock(data); err == nil {
+				t.Fatal("corrupt run block decoded")
+			}
+		})
+	}
+
+	// The valid block itself decodes, bijectively.
+	entries, err := decodeRunBlock(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 || entries[1].ikey != "dbeta" || !entries[1].tombstone {
+		t.Fatalf("valid block mangled: %+v", entries)
+	}
+	if !bytes.Equal(encodeRunBlock(entries), valid) {
+		t.Fatal("valid block does not round-trip")
+	}
+	// An empty block is valid and round-trips too.
+	if got, err := decodeRunBlock(encodeRunBlock(nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty block = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,165 @@
+package statedb
+
+import "sort"
+
+// entrySource is one sorted stream of runEntries feeding the k-way merge:
+// a memtable snapshot (sliceIter) or one run file (runIter).
+type entrySource interface {
+	// peek returns the current entry without consuming it; false when the
+	// source is exhausted.
+	peek() (runEntry, bool)
+	// advance consumes the current entry. It reports block read/decode
+	// errors (only runIter can fail).
+	advance() error
+}
+
+// sliceIter iterates an already-sorted in-memory entry slice.
+type sliceIter struct {
+	entries []runEntry
+	pos     int
+}
+
+func newSliceIter(entries []runEntry) *sliceIter { return &sliceIter{entries: entries} }
+
+func (it *sliceIter) peek() (runEntry, bool) {
+	if it.pos >= len(it.entries) {
+		return runEntry{}, false
+	}
+	return it.entries[it.pos], true
+}
+
+func (it *sliceIter) advance() error { it.pos++; return nil }
+
+// runIter iterates one run file's entries in [start, end) (end "" =
+// unbounded), loading one block at a time through the cache hook — the
+// whole run is never resident.
+type runIter struct {
+	r        *runReader
+	load     func(*runReader, int) ([]runEntry, error)
+	end      string
+	blockIdx int
+	block    []runEntry
+	pos      int
+	done     bool
+}
+
+// newRunIter positions an iterator at the first entry >= start.
+func newRunIter(r *runReader, start, end string, load func(*runReader, int) ([]runEntry, error)) (*runIter, error) {
+	it := &runIter{r: r, load: load, end: end}
+	it.blockIdx = r.blockFor(start)
+	if it.blockIdx < 0 {
+		it.blockIdx = 0 // start sorts before the first block's first key
+	}
+	if it.blockIdx >= len(r.index) {
+		it.done = true
+		return it, nil
+	}
+	if err := it.loadCurrent(); err != nil {
+		return nil, err
+	}
+	it.pos = sort.Search(len(it.block), func(i int) bool { return it.block[i].ikey >= start })
+	if it.pos >= len(it.block) {
+		// start lies past this block's last entry. The next block's first
+		// key must exceed start (blockFor picked the last block whose first
+		// key is <= start), so its position 0 is the answer.
+		it.blockIdx++
+		if it.blockIdx >= len(r.index) {
+			it.done = true
+			return it, nil
+		}
+		if err := it.loadCurrent(); err != nil {
+			return nil, err
+		}
+	}
+	if it.end != "" && it.pos < len(it.block) && it.block[it.pos].ikey >= it.end {
+		it.done = true
+	}
+	return it, nil
+}
+
+func (it *runIter) loadCurrent() error {
+	block, err := it.load(it.r, it.blockIdx)
+	if err != nil {
+		return err
+	}
+	it.block = block
+	it.pos = 0
+	return nil
+}
+
+func (it *runIter) peek() (runEntry, bool) {
+	if it.done {
+		return runEntry{}, false
+	}
+	if it.pos < len(it.block) {
+		return it.block[it.pos], true
+	}
+	return runEntry{}, false
+}
+
+func (it *runIter) advance() error {
+	if it.done {
+		return nil
+	}
+	it.pos++
+	if it.pos >= len(it.block) {
+		it.blockIdx++
+		if it.blockIdx >= len(it.r.index) {
+			it.done = true
+			return nil
+		}
+		if it.end != "" && it.r.index[it.blockIdx].firstKey >= it.end {
+			it.done = true // the whole next block is past the bound
+			return nil
+		}
+		if err := it.loadCurrent(); err != nil {
+			it.done = true
+			return err
+		}
+	}
+	if it.end != "" && it.pos < len(it.block) && it.block[it.pos].ikey >= it.end {
+		it.done = true
+	}
+	return nil
+}
+
+// mergeSources k-way merges sorted sources ordered newest-first: for each
+// distinct key the entry from the lowest-indexed source that holds it wins
+// (newer shadows older), and every source holding the key is advanced.
+// Tombstones are passed through — callers decide whether to drop them
+// (Range does; compaction of a full run set does too).
+func mergeSources(sources []entrySource, emit func(runEntry) error) error {
+	for {
+		best := -1
+		var bestKey string
+		for i, src := range sources {
+			e, ok := src.peek()
+			if !ok {
+				continue
+			}
+			if best == -1 || e.ikey < bestKey {
+				best, bestKey = i, e.ikey
+			}
+		}
+		if best == -1 {
+			return nil
+		}
+		var winner runEntry
+		taken := false
+		for _, src := range sources {
+			e, ok := src.peek()
+			if !ok || e.ikey != bestKey {
+				continue
+			}
+			if !taken {
+				winner, taken = e, true
+			}
+			if err := src.advance(); err != nil {
+				return err
+			}
+		}
+		if err := emit(winner); err != nil {
+			return err
+		}
+	}
+}

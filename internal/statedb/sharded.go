@@ -147,7 +147,9 @@ func (b *shardedBackend) Range(start, end string) []KV {
 			s.mu.RUnlock()
 		}
 	}()
-	var out []KV
+	// Non-nil even when empty: every backend returns the same shape for an
+	// empty scan (pinned by TestRangeConformance).
+	out := make([]KV, 0)
 	for _, s := range b.shards {
 		for k, vv := range s.data {
 			if k >= start && (end == "" || k < end) {

@@ -13,7 +13,11 @@
 // persistent backend — an append-only CRC-framed record log plus periodic
 // snapshot compaction — whose contents and last-committed block height
 // survive restarts, so a reopened peer resumes from where it stopped
-// instead of replaying the chain (DESIGN.md §4).
+// instead of replaying the chain (DESIGN.md §4). NewLSM is the second
+// persistent backend: a log-structured store (memtable + sorted runs +
+// bloom filters + block cache, docs/STATEDB.md) whose open cost and
+// resident memory do not scale with the keyspace, for state larger than
+// RAM.
 //
 // Even durable, the world state is only a cache: the ledger's durable
 // block store (internal/blockstore, on by default beside a disk-backed
@@ -102,12 +106,18 @@ func (db *DB) KeyCount() int {
 
 // Stats is a durable backend's I/O accounting, scraped into the obs
 // metrics endpoint: current log size plus lifetime append/fsync/compaction
-// counts.
+// counts. The LSM backend additionally reports flush counts, the live run
+// count and block-cache hit/miss totals (zero for the disk backend, which
+// has no runs or cache).
 type Stats struct {
 	LogBytes    int64
 	Appends     int64
 	Fsyncs      int64
 	Compactions int64
+	Flushes     int64
+	Runs        int64
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Stats reports the backend's I/O accounting; false for backends without
